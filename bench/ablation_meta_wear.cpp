@@ -1,0 +1,148 @@
+// Metadata-wear ablation (ours, DESIGN.md §4): do the tag cells die first?
+//
+// Encoding schemes concentrate flip activity on their metadata: FNW's 64
+// tags absorb every flip decision, and READ(+SAE) re-aims a mere 32 tag
+// bits at every write's dirty words. Endurance is per *cell*, so the
+// figure that matters for device lifetime is not total flips but the wear
+// of the hottest cell. This bench replays benchmarks with full per-bit
+// wear tracking and reports the mean and peak wear of the metadata region
+// relative to the data region — a failure mode the paper (which stops at
+// total flips) never examines.
+#include "bench_util.hpp"
+
+#include <algorithm>
+
+#include "trace/synthetic.hpp"
+
+namespace nvmenc {
+namespace {
+
+struct WearSummary {
+  double mean_data = 0.0;
+  double mean_tag = 0.0;   ///< flip-direction state cells (is_tag_bit)
+  double mean_flag = 0.0;  ///< auxiliary flags (dirty/granularity/counter)
+  double max_data = 0.0;
+  double max_tag = 0.0;
+  double max_flag = 0.0;
+};
+
+WearSummary summarize(NvmDevice& device, const WritebackTrace& trace,
+                      const Encoder& enc) {
+  WearSummary s;
+  usize lines = 0;
+  double sum_data = 0.0;
+  double sum_tag = 0.0;
+  double sum_flag = 0.0;
+  usize tag_bits = 0;
+  usize flag_bits = 0;
+  for (usize b = 0; b < enc.meta_bits(); ++b) {
+    if (enc.is_tag_bit(b)) {
+      ++tag_bits;
+    } else {
+      ++flag_bits;
+    }
+  }
+  // Visit every line the trace touched.
+  std::vector<u64> seen;
+  for (const WriteBack& wb : trace.measured) seen.push_back(wb.line_addr);
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+  for (const u64 addr : seen) {
+    const std::vector<u32>* wear = device.bit_wear(addr);
+    if (wear == nullptr) continue;
+    ++lines;
+    for (usize b = 0; b < kLineBits; ++b) {
+      sum_data += (*wear)[b];
+      s.max_data = std::max(s.max_data, static_cast<double>((*wear)[b]));
+    }
+    for (usize b = 0; b < enc.meta_bits(); ++b) {
+      const double w = (*wear)[kLineBits + b];
+      if (enc.is_tag_bit(b)) {
+        sum_tag += w;
+        s.max_tag = std::max(s.max_tag, w);
+      } else {
+        sum_flag += w;
+        s.max_flag = std::max(s.max_flag, w);
+      }
+    }
+  }
+  if (lines > 0) {
+    s.mean_data = sum_data / static_cast<double>(lines * kLineBits);
+    if (tag_bits > 0) {
+      s.mean_tag = sum_tag / static_cast<double>(lines * tag_bits);
+    }
+    if (flag_bits > 0) {
+      s.mean_flag = sum_flag / static_cast<double>(lines * flag_bits);
+    }
+  }
+  return s;
+}
+
+int run(const bench::Options& opt) {
+  bench::banner("Metadata wear: tag-cell wear relative to data cells");
+  ExperimentConfig cfg = bench::figure_config(opt);
+  // Per-bit wear for every line is memory-hungry; trim the window.
+  cfg.collector.measured_accesses =
+      std::min<u64>(cfg.collector.measured_accesses, 200'000);
+
+  const std::vector<Scheme> schemes = {Scheme::kFnw, Scheme::kCafo,
+                                       Scheme::kRead, Scheme::kReadSae,
+                                       Scheme::kReadSaeRotate};
+  TextTable table{{"benchmark", "scheme", "tag/data", "flag/data",
+                   "peak tag", "peak flag", "peak data"}};
+  for (const std::string name : {"sjeng", "gcc", "xalancbmk"}) {
+    WorkloadProfile profile = profile_by_name(name);
+    SyntheticWorkload workload{profile, cfg.seed};
+    const WritebackTrace trace = collect_writebacks(workload, cfg.collector);
+
+    for (const Scheme scheme : schemes) {
+      EncoderPtr enc = make_encoder(scheme);
+      const Encoder* e = enc.get();
+      NvmDeviceConfig dc;
+      dc.bit_wear_sample = 1;  // track every line
+      NvmDevice device{dc, [&trace, e](u64 addr) {
+                         return e->make_stored(trace.initial_line(addr));
+                       }};
+      MemoryController ctl{{}, std::move(enc), device};
+      for (const WriteBack& wb : trace.warmup) {
+        ctl.write_line(wb.line_addr, wb.data);
+      }
+      // Loop the measured window so the hottest cells accumulate enough
+      // wear for the peak statistics to separate from noise; the stored
+      // state (tags, flags) persists across iterations, so repeated
+      // passes continue to exercise the real flip behaviour.
+      const usize passes = opt.quick ? 10 : 25;
+      for (usize pass = 0; pass < passes; ++pass) {
+        for (const WriteBack& wb : trace.measured) {
+          ctl.write_line(wb.line_addr, wb.data);
+        }
+      }
+      const WearSummary s = summarize(device, trace, ctl.encoder());
+      table.add_row(
+          {name, scheme_name(scheme),
+           TextTable::fmt(s.mean_tag / std::max(s.mean_data, 1e-9), 1),
+           TextTable::fmt(s.mean_flag / std::max(s.mean_data, 1e-9), 1),
+           TextTable::fmt(s.max_tag, 0), TextTable::fmt(s.max_flag, 0),
+           TextTable::fmt(s.max_data, 0)});
+    }
+  }
+  bench::emit(table, opt, "ablation_meta_wear");
+  std::cout << "\nREAD+SAE-R (ours) rotates the segment-to-tag-cell "
+               "assignment each write, spreading the concentrated tag wear "
+               "across the whole budget; its Gray-coded rotation counter "
+               "shifts the hot spot into a few flag cells, which being few "
+               "are cheap to harden.\n";
+  std::cout << "\nper-cell endurance is the binding limit: a tag cell "
+               "wearing Nx faster than the hottest data cell divides the "
+               "line's lifetime by N unless tags are hardened or rotated. "
+               "The paper's total-flip lifetime model does not capture "
+               "this.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace nvmenc
+
+int main(int argc, char** argv) {
+  return nvmenc::run(nvmenc::bench::parse_options(argc, argv));
+}

@@ -1,0 +1,109 @@
+// Ablation bench (ours, DESIGN.md §4): decomposes READ+SAE.
+//
+//  (a) component split: READ-only vs SAE-only vs READ+SAE, both
+//      accounting modes, against the equal-budget FNW (g = 16, 32 tags)
+//      and the paper's FNW (g = 8, 64 tags);
+//  (b) tag-budget sweep for READ+SAE (16 / 32 / 64 bits);
+//  (c) stateful-vs-paper-model gap — the cost of the clean-word
+//      bookkeeping the paper does not account for.
+#include "bench_util.hpp"
+
+#include "core/read_sae.hpp"
+#include "trace/synthetic.hpp"
+
+namespace nvmenc {
+namespace {
+
+std::vector<WorkloadProfile> ablation_profiles() {
+  // A silent-heavy, a balanced, and a dirty-heavy benchmark: the three
+  // regimes that separate the schemes.
+  return {profile_by_name("bwaves"), profile_by_name("gcc"),
+          profile_by_name("xalancbmk")};
+}
+
+int run(const bench::Options& opt) {
+  bench::banner("Ablation (a): READ / SAE component split, flips vs DCW");
+  const ExperimentConfig cfg = bench::figure_config(opt);
+  {
+    const std::vector<Scheme> schemes = {
+        Scheme::kDcw,     Scheme::kFnw,          Scheme::kRead,
+        Scheme::kSaeOnly, Scheme::kReadSae,      Scheme::kReadPaper,
+        Scheme::kReadSaePaper};
+    const ExperimentMatrix m =
+        run_experiment(ablation_profiles(), schemes, cfg, &std::cout);
+    std::cout << "\n";
+    bench::emit(m.normalized_table(metric_total_flips(), Scheme::kDcw), opt,
+                "ablation_components");
+  }
+
+  bench::banner("Ablation (b): READ+SAE tag-budget sweep (stateful)");
+  {
+    // Use the experiment machinery manually: the budget is not a Scheme.
+    TextTable table{{"benchmark", "budget 8", "budget 16", "budget 32",
+                     "budget 64"}};
+    for (const WorkloadProfile& base : ablation_profiles()) {
+      WorkloadProfile profile = base;
+      SyntheticWorkload workload{profile, cfg.seed};
+      const WritebackTrace trace =
+          collect_writebacks(workload, cfg.collector);
+
+      // DCW baseline flips for normalization.
+      const ReplayResult dcw = replay_scheme(trace, Scheme::kDcw);
+      std::vector<std::string> row{profile.name};
+      for (const usize budget : {8u, 16u, 32u, 64u}) {
+        // Replay by hand: encoder with this budget.
+        EncoderPtr enc = make_read_sae(budget);
+        const Encoder* e = enc.get();
+        NvmDevice device{NvmDeviceConfig{}, [&trace, e](u64 addr) {
+                           return e->make_stored(trace.initial_line(addr));
+                         }};
+        MemoryController warm{{}, make_read_sae(budget), device};
+        for (const WriteBack& wb : trace.warmup) {
+          warm.write_line(wb.line_addr, wb.data);
+        }
+        MemoryController ctl{{}, std::move(enc), device};
+        for (const WriteBack& wb : trace.measured) {
+          ctl.write_line(wb.line_addr, wb.data);
+        }
+        row.push_back(TextTable::fmt(
+            static_cast<double>(ctl.stats().flips.total()) /
+            static_cast<double>(dcw.stats.flips.total())));
+      }
+      table.add_row(std::move(row));
+    }
+    bench::emit(table, opt, "ablation_tag_budget");
+  }
+
+  bench::banner(
+      "Ablation (c): cost of correct clean-word bookkeeping "
+      "(stateful / paper-model flip ratio)");
+  {
+    const std::vector<Scheme> schemes = {Scheme::kRead, Scheme::kReadPaper,
+                                         Scheme::kReadSae,
+                                         Scheme::kReadSaePaper};
+    const ExperimentMatrix m =
+        run_experiment(spec2006_profiles(), schemes, cfg, &std::cout);
+    std::cout << "\n";
+    TextTable table{{"benchmark", "READ overhead", "READ+SAE overhead"}};
+    for (usize b = 0; b < m.benchmarks().size(); ++b) {
+      table.add_row(
+          {m.benchmarks()[b],
+           TextTable::fmt_pct(m.ratio(b, Scheme::kRead, Scheme::kReadPaper,
+                                      metric_total_flips()) -
+                              1.0),
+           TextTable::fmt_pct(m.ratio(b, Scheme::kReadSae,
+                                      Scheme::kReadSaePaper,
+                                      metric_total_flips()) -
+                              1.0)});
+    }
+    bench::emit(table, opt, "ablation_bookkeeping_cost");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace nvmenc
+
+int main(int argc, char** argv) {
+  return nvmenc::run(nvmenc::bench::parse_options(argc, argv));
+}

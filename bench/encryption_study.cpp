@@ -1,0 +1,71 @@
+// Encrypted-NVM study (ours, DESIGN.md §4): what encryption does to
+// bit-flip encoding, and what DEUCE [24] recovers.
+//
+// Counter-mode encryption re-randomizes ciphertext on every re-key, so a
+// naive encrypted NVM flips ~half of every written word regardless of the
+// encoder. DEUCE's dual-counter scheme re-keys only the modified words,
+// restoring the clean-word savings the whole encoding literature builds
+// on. This bench measures flips/write-back for: plain DCW, plain
+// READ+SAE, naive CTR encryption, and DEUCE.
+#include "bench_util.hpp"
+
+#include "encoding/deuce.hpp"
+#include "encoding/stacked.hpp"
+#include "trace/synthetic.hpp"
+
+namespace nvmenc {
+namespace {
+
+int run(const bench::Options& opt) {
+  bench::banner("Encryption study: flips per write-back");
+  const ExperimentConfig cfg = bench::figure_config(opt);
+
+  TextTable table{{"benchmark", "DCW (plain)", "READ+SAE (plain)",
+                   "CTR-naive", "DEUCE", "DEUCE+FNW8", "DEUCE/naive"}};
+  for (const std::string name : {"bwaves", "sjeng", "gcc", "xalancbmk"}) {
+    WorkloadProfile profile = profile_by_name(name);
+    SyntheticWorkload workload{profile, cfg.seed};
+    const WritebackTrace trace = collect_writebacks(workload, cfg.collector);
+
+    auto flips_of = [&](EncoderPtr enc) {
+      const Encoder* e = enc.get();
+      NvmDevice device{NvmDeviceConfig{}, [&trace, e](u64 addr) {
+                         return e->make_stored(trace.initial_line(addr));
+                       }};
+      MemoryController ctl{{}, std::move(enc), device};
+      for (const WriteBack& wb : trace.warmup) {
+        ctl.write_line(wb.line_addr, wb.data);
+      }
+      ctl.reset_stats();
+      for (const WriteBack& wb : trace.measured) {
+        ctl.write_line(wb.line_addr, wb.data);
+      }
+      return static_cast<double>(ctl.stats().flips.total()) /
+             static_cast<double>(ctl.stats().writebacks);
+    };
+
+    const double dcw = flips_of(make_encoder(Scheme::kDcw));
+    const double read_sae = flips_of(make_encoder(Scheme::kReadSae));
+    const double naive = flips_of(std::make_unique<DeuceEncoder>(true));
+    const double deuce = flips_of(std::make_unique<DeuceEncoder>(false));
+    const double stacked = flips_of(std::make_unique<StackedEncoder>(
+        std::make_unique<DeuceEncoder>(false), 8));
+    table.add_row({name, TextTable::fmt(dcw, 1),
+                   TextTable::fmt(read_sae, 1), TextTable::fmt(naive, 1),
+                   TextTable::fmt(deuce, 1), TextTable::fmt(stacked, 1),
+                   TextTable::fmt(deuce / naive, 2)});
+  }
+  bench::emit(table, opt, "encryption_study");
+  std::cout << "\nencryption without DEUCE costs ~256 flips per re-keyed "
+               "line; DEUCE confines re-keying to modified words (plus a "
+               "periodic full epoch), recovering most of the plain-text "
+               "flip budget that encoders then optimize.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace nvmenc
+
+int main(int argc, char** argv) {
+  return nvmenc::run(nvmenc::bench::parse_options(argc, argv));
+}

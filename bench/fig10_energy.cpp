@@ -1,0 +1,31 @@
+// Figure 10: energy consumption normalized to DCW, per benchmark/scheme.
+//
+// Paper reference (averages vs DCW): Flip-N-Write -12.4%, AFNW -3.6%,
+// COEF -9.2%, CAFO -16.6%, READ -19.2%, READ+SAE -20.3%. Energy follows
+// the bit-flip trend but diluted by the (scheme-independent) read energy;
+// READ/READ+SAE additionally pay the 81.65 pJ encoder-logic energy per
+// write (Section 3.4.2).
+#include "bench_util.hpp"
+
+namespace nvmenc {
+namespace {
+
+int run(const bench::Options& opt) {
+  bench::banner("Figure 10: energy normalized to DCW");
+  const ExperimentMatrix m = run_experiment(
+      spec2006_profiles(), figure_schemes(), bench::figure_config(opt),
+      &std::cout);
+  std::cout << "\n";
+  const TextTable table = m.normalized_table(metric_energy(), Scheme::kDcw);
+  bench::emit(table, opt, "fig10_energy");
+  std::cout << "\npaper averages vs DCW: FNW 0.876, AFNW 0.964, COEF 0.908,"
+               " CAFO 0.834, READ 0.808, READ+SAE 0.797\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace nvmenc
+
+int main(int argc, char** argv) {
+  return nvmenc::run(nvmenc::bench::parse_options(argc, argv));
+}

@@ -1,0 +1,42 @@
+// Figure 11: bit flips of the tag bits, normalized to Flip-N-Write.
+//
+// Paper reference (averages vs FNW): AFNW +23.4%, CAFO -32.4%, READ
+// +145.7%, READ+SAE +113.9% (READ+SAE cuts READ's tag flips by 21.8%).
+// DCW has no tags and COEF stores its single flag in compression slack,
+// so both are excluded — exactly as in the paper.
+#include "bench_util.hpp"
+
+namespace nvmenc {
+namespace {
+
+int run(const bench::Options& opt) {
+  bench::banner("Figure 11: tag-bit flips normalized to Flip-N-Write");
+  const std::vector<Scheme> schemes = {
+      Scheme::kFnw,       Scheme::kAfnw,         Scheme::kCafo,
+      Scheme::kReadPaper, Scheme::kReadSaePaper, Scheme::kRead,
+      Scheme::kReadSae};
+  const ExperimentMatrix m = run_experiment(
+      spec2006_profiles(), schemes, bench::figure_config(opt), &std::cout);
+  std::cout << "\n";
+  const TextTable table = m.normalized_table(metric_tag_flips(),
+                                             Scheme::kFnw);
+  bench::emit(table, opt, "fig11_tag_flips");
+
+  const double read_paper =
+      m.average_ratio(Scheme::kReadPaper, Scheme::kFnw, metric_tag_flips());
+  const double rs_paper = m.average_ratio(Scheme::kReadSaePaper,
+                                          Scheme::kFnw, metric_tag_flips());
+  std::cout << "\nSAE reduces READ's tag flips by "
+            << TextTable::fmt_pct(rs_paper / read_paper - 1.0)
+            << " (paper: -21.8%)\n";
+  std::cout << "paper averages vs FNW: AFNW 1.234, CAFO 0.676, READ 2.457, "
+               "READ+SAE 2.139\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace nvmenc
+
+int main(int argc, char** argv) {
+  return nvmenc::run(nvmenc::bench::parse_options(argc, argv));
+}

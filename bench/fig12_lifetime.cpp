@@ -1,0 +1,30 @@
+// Figure 12: lifetime improvement over DCW under (near-)ideal wear
+// leveling — inversely proportional to total bit flips (Section 4.2.4).
+//
+// Paper reference (improvements vs DCW): Flip-N-Write +34.3%, AFNW
+// +15.3%, COEF +17.9%, CAFO +35.1%, READ +46.2%, READ+SAE +52.1%.
+#include "bench_util.hpp"
+
+namespace nvmenc {
+namespace {
+
+int run(const bench::Options& opt) {
+  bench::banner("Figure 12: lifetime normalized to DCW (ideal WL)");
+  const ExperimentMatrix m = run_experiment(
+      spec2006_profiles(), figure_schemes(), bench::figure_config(opt),
+      &std::cout);
+  std::cout << "\n";
+  const TextTable table =
+      m.normalized_table(metric_lifetime(), Scheme::kDcw);
+  bench::emit(table, opt, "fig12_lifetime");
+  std::cout << "\npaper averages vs DCW: FNW 1.343, AFNW 1.153, COEF 1.179,"
+               " CAFO 1.351, READ 1.462, READ+SAE 1.521\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace nvmenc
+
+int main(int argc, char** argv) {
+  return nvmenc::run(nvmenc::bench::parse_options(argc, argv));
+}

@@ -1,0 +1,93 @@
+// Figure 5 + Table 1: the sequential-flips worked example and the
+// READ+SAE granularity table.
+//
+// Figure 5's example: old data 0x0000...0, new data 0xFFFF...F. With 16 /
+// 8 / 1 tag bits the write costs 16 / 8 / 1 flips (all in the tag bits);
+// SAE picks the coarsest option. The sweep below generalizes to partial
+// complement runs and shows where the crossover between fine and coarse
+// granularity falls.
+#include "bench_util.hpp"
+
+#include "core/paper_model.hpp"
+#include "core/read_sae.hpp"
+
+namespace nvmenc {
+namespace {
+
+/// Cost of a 64-bit write whose low `run` bits are complemented, under a
+/// fixed tag count over the word (fresh tag state).
+usize fixed_tag_cost(u64 old_word, u64 new_word, usize tags) {
+  const usize seg = 64 / tags;
+  usize cost = 0;
+  for (usize s = 0; s < tags; ++s) {
+    const u64 o = (old_word >> (s * seg)) & low_mask(seg);
+    const u64 n = (new_word >> (s * seg)) & low_mask(seg);
+    const usize h = hamming(o, n);
+    cost += std::min(h, (seg - h) + 1);
+  }
+  return cost;
+}
+
+int run(const bench::Options& opt) {
+  bench::banner("Figure 5: sequential flips vs encoding granularity");
+
+  {
+    // The literal example: 64-bit word, old 0x0, new ~0x0.
+    TextTable table{{"tag bits", "granularity", "bit flips"}};
+    for (const usize tags : {16u, 8u, 4u, 2u, 1u}) {
+      table.add_row({std::to_string(tags), std::to_string(64 / tags),
+                     std::to_string(fixed_tag_cost(0, ~u64{0}, tags))});
+    }
+    bench::emit(table, opt, "fig5_example");
+    std::cout << "paper (Fig. 5): 16 tags -> 16 flips, 8 -> 8, 1 -> 1\n\n";
+  }
+
+  {
+    // Crossover sweep: complement runs of growing length. Fine granularity
+    // wins on short runs, coarse on long ones; SAE tracks the minimum.
+    TextTable table{{"complement run", "16 tags", "4 tags", "1 tag",
+                     "READ+SAE model"}};
+    for (const usize run : {1u, 2u, 4u, 8u, 16u, 32u, 48u, 64u}) {
+      const u64 old_word = 0;
+      const u64 new_word = low_mask(run);
+      PaperModelReadSae model{{.tag_budget = 32,
+                               .redundant_word_aware = true,
+                               .granularity_levels = 4}};
+      PaperModelLineState state;
+      CacheLine old_line;
+      CacheLine new_line;
+      new_line.set_word(0, new_word);
+      const FlipBreakdown fb = model.write(state, old_line, new_line);
+      table.add_row({std::to_string(run),
+                     std::to_string(fixed_tag_cost(old_word, new_word, 16)),
+                     std::to_string(fixed_tag_cost(old_word, new_word, 4)),
+                     std::to_string(fixed_tag_cost(old_word, new_word, 1)),
+                     std::to_string(fb.data + fb.tag)});
+    }
+    bench::emit(table, opt, "fig5_crossover");
+  }
+
+  {
+    // Table 1: READ+SAE encoding granularities for N = 32 tag bits.
+    bench::banner("Table 1: encoding granularities of READ+SAE (N = 32)");
+    TextTable table{{"granularity flag", "tag bits/line", "granularity",
+                     "example (M=4)"}};
+    for (usize f = 0; f < 4; ++f) {
+      table.add_row(
+          {f == 0 ? "00" : f == 1 ? "01" : f == 2 ? "10" : "11",
+           std::to_string(32 >> f),
+           "64*M/" + std::to_string(32 >> f) + " * ... = " +
+               std::to_string(u64{1} << f) + "*64*M/32",
+           std::to_string(ReadSaeEncoder::granularity_bits(4, 32, f))});
+    }
+    bench::emit(table, opt, "table1_granularities");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace nvmenc
+
+int main(int argc, char** argv) {
+  return nvmenc::run(nvmenc::bench::parse_options(argc, argv));
+}

@@ -1,0 +1,34 @@
+// Figure 9: total bit flips normalized to DCW, per benchmark and scheme.
+//
+// Paper reference (averages vs DCW): Flip-N-Write -15.1%, AFNW -5.1%,
+// COEF -12.5%, CAFO -17.8%, READ -23.2%, READ+SAE -25.0%.
+//
+// Columns READ* / READ+SAE* replay the paper's idealized accounting model
+// (core/paper_model.hpp); the unstarred columns are the hardware-faithful
+// stateful encoders, which additionally pay the clean-word bookkeeping the
+// paper omits (see EXPERIMENTS.md).
+#include "bench_util.hpp"
+
+namespace nvmenc {
+namespace {
+
+int run(const bench::Options& opt) {
+  bench::banner("Figure 9: bit flips normalized to DCW");
+  const ExperimentMatrix m = run_experiment(
+      spec2006_profiles(), figure_schemes(), bench::figure_config(opt),
+      &std::cout);
+  std::cout << "\n";
+  const TextTable table =
+      m.normalized_table(metric_total_flips(), Scheme::kDcw);
+  bench::emit(table, opt, "fig9_bit_flips");
+  std::cout << "\npaper averages vs DCW: FNW 0.849, AFNW 0.949, COEF 0.875,"
+               " CAFO 0.822, READ 0.768, READ+SAE 0.750\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace nvmenc
+
+int main(int argc, char** argv) {
+  return nvmenc::run(nvmenc::bench::parse_options(argc, argv));
+}

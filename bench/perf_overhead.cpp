@@ -1,0 +1,79 @@
+// Performance overhead of the encode/decode latency (Section 3.4.2).
+//
+// The paper synthesizes the READ+SAE encoder at 3.47 ns and argues the
+// performance impact is negligible because reads dominate system
+// performance and decode is nearly free. This bench replays each
+// benchmark's interleaved request stream through the banked timing model
+// with the encode latency swept from 0 to an exaggerated 200 ns, and
+// reports execution-time overhead and average read latency — validating
+// (or bounding) the claim quantitatively.
+#include "bench_util.hpp"
+
+#include "sim/perf.hpp"
+#include "trace/synthetic.hpp"
+
+namespace nvmenc {
+namespace {
+
+int run(const bench::Options& opt) {
+  bench::banner("Section 3.4.2: performance overhead of encode latency");
+  ExperimentConfig cfg = bench::figure_config(opt);
+  cfg.collector.record_requests = true;
+
+  const double latencies[] = {0.0, 3.47, 10.0, 50.0, 200.0};
+  TextTable table{{"benchmark", "requests", "row hit", "t(0ns)",
+                   "+3.47ns", "+10ns", "+50ns", "+200ns",
+                   "read lat (3.47ns)", "read lat (sched)"}};
+  for (const std::string name : {"bwaves", "sjeng", "gcc", "xalancbmk"}) {
+    SyntheticWorkload workload{profile_by_name(name), cfg.seed};
+    const WritebackTrace trace = collect_writebacks(workload, cfg.collector);
+
+    std::vector<std::string> row{name,
+                                 std::to_string(trace.requests.size())};
+    double base_ns = 0.0;
+    double base_hit = 0.0;
+    double lat_347 = 0.0;
+    std::vector<std::string> overheads;
+    for (const double enc_ns : latencies) {
+      PerfConfig pc;
+      pc.org.encode_latency_ns = enc_ns;
+      const PerfResult r = run_timing(trace.requests, pc);
+      if (enc_ns == 0.0) {
+        base_ns = r.total_ns;
+        base_hit = r.timing.row_hit_rate();
+        overheads.push_back(TextTable::fmt(base_ns / 1e6, 2) + "ms");
+      } else {
+        overheads.push_back(
+            TextTable::fmt_pct(r.total_ns / base_ns - 1.0, 2));
+      }
+      if (enc_ns == 3.47) lat_347 = r.avg_read_latency_ns();
+    }
+    // Same stream with the write-queue scheduler (reads prioritized).
+    PerfConfig sched;
+    sched.org.encode_latency_ns = 3.47;
+    sched.use_write_queue = true;
+    const PerfResult scheduled = run_timing(trace.requests, sched);
+
+    row.push_back(TextTable::fmt(base_hit, 3));
+    for (std::string& s : overheads) row.push_back(std::move(s));
+    row.push_back(TextTable::fmt(lat_347, 1) + "ns");
+    row.push_back(TextTable::fmt(scheduled.avg_read_latency_ns(), 1) +
+                  "ns");
+    table.add_row(std::move(row));
+  }
+  bench::emit(table, opt, "perf_overhead");
+  std::cout << "\npaper claim: 3.47 ns encode latency has negligible "
+               "performance impact (reads dominate; decode is free). The "
+               "scheduled column routes writes through a 64-entry write "
+               "queue: rewrites coalesce and hot reads forward, but the "
+               "synchronous high-watermark drains add read-tail stalls — "
+               "the classic write-drain trade-off.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace nvmenc
+
+int main(int argc, char** argv) {
+  return nvmenc::run(nvmenc::bench::parse_options(argc, argv));
+}

@@ -1,0 +1,89 @@
+// Secure persistent memory: DEUCE encryption + Flip-N-Write + SAFER
+// recovery, composed from the library's layers.
+//
+// Persistent main memory wants encryption (data survives power-off and
+// theft), low write energy (flips cost ~20 pJ each), and fault tolerance
+// (cells die). This example builds the full stack and walks one hot line
+// through it:
+//
+//   logical line
+//     -> DeuceEncoder      (dual-counter encryption, modified words only)
+//     -> StackedEncoder    (FNW over the ciphertext: flip minimization)
+//     -> FaultTolerantStore(SAFER partition inversion around stuck cells)
+//     -> NvmDevice         (differential write, per-bit wear)
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "encoding/deuce.hpp"
+#include "encoding/stacked.hpp"
+#include "nvm/recovery.hpp"
+
+using namespace nvmenc;
+
+int main() {
+  std::cout << "secure persistent memory: DEUCE -> FNW -> SAFER -> PCM\n\n";
+
+  StackedEncoder encoder{std::make_unique<DeuceEncoder>(), 8};
+  NvmDevice device{NvmDeviceConfig{}, [&encoder](u64) {
+                     return encoder.make_stored({});
+                   }};
+  FaultTolerantStore store{device};
+
+  Xoshiro256 rng{2026};
+  CacheLine line;
+  StoredLine stored = encoder.make_stored(line);
+  if (!store.store(0, stored, 0)) return 1;
+
+  // Phase 1: a healthy lifetime of partial updates.
+  TextTable table{{"phase", "writes", "flips/write", "notes"}};
+  {
+    u64 flips = 0;
+    const int writes = 2000;
+    for (int i = 0; i < writes; ++i) {
+      line.set_word(rng.next_below(kWordsPerLine), rng.next());
+      stored = store.load(0);
+      flips += encoder.encode(stored, line).total();
+      if (!store.store(0, stored, 0)) return 1;
+      if (encoder.decode(store.load(0)) != line) return 1;
+    }
+    table.add_row({"healthy", std::to_string(writes),
+                   TextTable::fmt(static_cast<double>(flips) / writes, 1),
+                   "encrypted, flip-minimized"});
+  }
+
+  // Phase 2: cells start sticking; SAFER keeps the line serviceable.
+  {
+    u64 flips = 0;
+    int writes = 0;
+    usize faults = 0;
+    for (int f = 0; f < 24; ++f) {
+      const usize bit = static_cast<usize>(rng.next_below(kLineBits));
+      store.report_fault(0, bit, device.load(0).data.bit(bit));
+      ++faults;
+      bool ok = true;
+      for (int i = 0; i < 50; ++i) {
+        line.set_word(rng.next_below(kWordsPerLine), rng.next());
+        stored = store.load(0);
+        flips += encoder.encode(stored, line).total();
+        if (!store.store(0, stored, 0)) {
+          ok = false;
+          break;
+        }
+        ++writes;
+        if (encoder.decode(store.load(0)) != line) return 1;
+      }
+      if (!ok) break;
+    }
+    table.add_row({"degrading", std::to_string(writes),
+                   TextTable::fmt(static_cast<double>(flips) /
+                                      std::max(writes, 1), 1),
+                   "survived " + std::to_string(faults) +
+                       " stuck cells before retirement"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nevery layer is independently testable; this executable "
+               "is the integration proof (exit code checks every decode).\n";
+  return 0;
+}

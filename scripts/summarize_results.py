@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Collate the CSVs the bench binaries emit into one markdown report.
+
+Usage:
+    for b in build/bench/*; do [ -x "$b" ] && "$b" --csv=results; done
+    python3 scripts/summarize_results.py results > results/REPORT.md
+"""
+import csv
+import pathlib
+import sys
+
+# Figure order and the one-line context shown above each table.
+SECTIONS = [
+    ("fig2_dirty_words", "Figure 2 — dirty words per write-back / tag utilization"),
+    ("fig3_granularity_sweep", "Figure 3 — FNW granularity vs flip reduction"),
+    ("fig5_example", "Figure 5 — sequential-flips worked example"),
+    ("fig5_crossover", "Figure 5 — complement-run crossover sweep"),
+    ("table1_granularities", "Table 1 — READ+SAE granularities"),
+    ("fig9_bit_flips", "Figure 9 — bit flips vs DCW"),
+    ("fig10_energy", "Figure 10 — energy vs DCW"),
+    ("fig11_tag_flips", "Figure 11 — tag flips vs Flip-N-Write"),
+    ("fig12_lifetime", "Figure 12 — lifetime vs DCW"),
+    ("overhead_capacity", "Section 3.4 — capacity overheads"),
+    ("overhead_gates", "Section 3.4.2 — encoder gate estimates"),
+    ("perf_overhead", "Section 3.4.2 — encode-latency performance overhead"),
+    ("ablation_components", "Ablation — READ / SAE component split"),
+    ("ablation_tag_budget", "Ablation — tag-budget sweep"),
+    ("ablation_bookkeeping_cost", "Ablation — clean-word bookkeeping cost"),
+    ("ablation_sequential_flips", "Ablation — sequential-flip sensitivity"),
+    ("ablation_meta_wear", "Ablation — metadata-cell wear"),
+    ("ablation_mlc", "Ablation — MLC transition-based pricing"),
+    ("ablation_wear_leveling", "Ablation — deployed wear leveling"),
+    ("mix_multicore", "4-core multiprogrammed mixes"),
+    ("compression_study", "Compression substrate study"),
+    ("encryption_study", "Encrypted-NVM study (DEUCE)"),
+]
+
+
+def emit_table(path: pathlib.Path) -> None:
+    with path.open(newline="") as handle:
+        rows = list(csv.reader(handle))
+    if not rows:
+        return
+    header, *body = rows
+    print("| " + " | ".join(header) + " |")
+    print("|" + "|".join("---" for _ in header) + "|")
+    for row in body:
+        print("| " + " | ".join(row) + " |")
+    print()
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    results = pathlib.Path(sys.argv[1])
+    print("# nvmenc — collected results\n")
+    print("Regenerate with: `for b in build/bench/*; do [ -x \"$b\" ] && "
+          "\"$b\" --csv=results; done`\n")
+    missing = []
+    for stem, title in SECTIONS:
+        path = results / f"{stem}.csv"
+        if not path.exists():
+            missing.append(stem)
+            continue
+        print(f"## {title}\n")
+        emit_table(path)
+    for path in sorted(results.glob("*.csv")):
+        if path.stem not in {stem for stem, _ in SECTIONS}:
+            print(f"## {path.stem}\n")
+            emit_table(path)
+    if missing:
+        print(f"<!-- missing: {', '.join(missing)} -->")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,111 @@
+#include "cache/cache.hpp"
+
+namespace nvmenc {
+
+CacheLevel::CacheLevel(CacheConfig config) : config_{std::move(config)} {
+  config_.validate();
+  ways_.resize(config_.lines());
+}
+
+usize CacheLevel::set_index(u64 line_addr) const noexcept {
+  return static_cast<usize>((line_addr / kLineBytes) % config_.sets());
+}
+
+CacheLevel::Way* CacheLevel::find(u64 line_addr) noexcept {
+  const usize base = set_index(line_addr) * config_.ways;
+  for (usize w = 0; w < config_.ways; ++w) {
+    Way& way = ways_[base + w];
+    if (way.valid && way.line_addr == line_addr) return &way;
+  }
+  return nullptr;
+}
+
+const CacheLevel::Way* CacheLevel::find(u64 line_addr) const noexcept {
+  const usize base = set_index(line_addr) * config_.ways;
+  for (usize w = 0; w < config_.ways; ++w) {
+    const Way& way = ways_[base + w];
+    if (way.valid && way.line_addr == line_addr) return &way;
+  }
+  return nullptr;
+}
+
+bool CacheLevel::contains(u64 line_addr) const noexcept {
+  return find(line_addr) != nullptr;
+}
+
+CacheLine* CacheLevel::lookup(u64 line_addr) noexcept {
+  Way* way = find(line_addr);
+  if (way == nullptr) return nullptr;
+  way->last_use = ++tick_;
+  return &way->data;
+}
+
+bool CacheLevel::mark_dirty(u64 line_addr) noexcept {
+  Way* way = find(line_addr);
+  if (way == nullptr) return false;
+  way->dirty = true;
+  return true;
+}
+
+std::optional<Victim> CacheLevel::insert(u64 line_addr, const CacheLine& data,
+                                         bool dirty) {
+  if (Way* present = find(line_addr)) {
+    present->data = data;
+    present->dirty = present->dirty || dirty;
+    present->last_use = ++tick_;
+    return std::nullopt;
+  }
+
+  const usize base = set_index(line_addr) * config_.ways;
+  Way* slot = nullptr;
+  for (usize w = 0; w < config_.ways; ++w) {
+    Way& way = ways_[base + w];
+    if (!way.valid) {
+      slot = &way;
+      break;
+    }
+    if (slot == nullptr || way.last_use < slot->last_use) slot = &way;
+  }
+
+  std::optional<Victim> victim;
+  if (slot->valid) {
+    ++stats_.evictions;
+    if (slot->dirty) {
+      ++stats_.dirty_evictions;
+      victim = Victim{slot->line_addr, slot->data};
+    }
+  }
+
+  slot->line_addr = line_addr;
+  slot->data = data;
+  slot->valid = true;
+  slot->dirty = dirty;
+  slot->last_use = ++tick_;
+  return victim;
+}
+
+std::optional<Victim> CacheLevel::invalidate(u64 line_addr) {
+  Way* way = find(line_addr);
+  if (way == nullptr) return std::nullopt;
+  way->valid = false;
+  if (way->dirty) return Victim{way->line_addr, way->data};
+  return std::nullopt;
+}
+
+void CacheLevel::flush(std::vector<Victim>& out) {
+  for (Way& way : ways_) {
+    if (way.valid && way.dirty) out.push_back({way.line_addr, way.data});
+    way.valid = false;
+    way.dirty = false;
+  }
+}
+
+usize CacheLevel::resident_lines() const noexcept {
+  usize n = 0;
+  for (const Way& way : ways_) {
+    if (way.valid) ++n;
+  }
+  return n;
+}
+
+}  // namespace nvmenc

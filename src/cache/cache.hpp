@@ -1,0 +1,95 @@
+// CacheLevel: one set-associative, write-back, write-allocate, LRU cache.
+//
+// Unlike tag-only performance models, each way carries the full 64-byte
+// line contents: the whole point of this hierarchy is to deliver the exact
+// (old line, new line) pairs the encoders operate on. Victims are reported
+// to the caller, who routes dirty ones to the next level or to memory.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cache/cache_config.hpp"
+#include "common/cache_line.hpp"
+#include "trace/access.hpp"
+
+namespace nvmenc {
+
+struct CacheStats {
+  u64 hits = 0;
+  u64 misses = 0;
+  u64 evictions = 0;
+  u64 dirty_evictions = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const u64 total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(total);
+  }
+};
+
+/// An evicted line (address + contents) that was dirty and must be written
+/// to the next level down.
+struct Victim {
+  u64 line_addr = 0;
+  CacheLine data;
+};
+
+class CacheLevel {
+ public:
+  explicit CacheLevel(CacheConfig config);
+
+  /// True when the line is present (does not touch LRU state).
+  [[nodiscard]] bool contains(u64 line_addr) const noexcept;
+
+  /// Looks the line up; on hit returns a pointer to the cached data and
+  /// refreshes LRU. The pointer stays valid until the next insert.
+  [[nodiscard]] CacheLine* lookup(u64 line_addr) noexcept;
+
+  /// Marks a (present) line dirty; returns false when absent.
+  bool mark_dirty(u64 line_addr) noexcept;
+
+  /// Inserts a line (write-allocate fill or write-back from above),
+  /// evicting the LRU way when the set is full. Returns the dirty victim if
+  /// one was displaced. If the line is already present its data is
+  /// overwritten and `dirty` is OR-ed in.
+  std::optional<Victim> insert(u64 line_addr, const CacheLine& data,
+                               bool dirty);
+
+  /// Removes the line if present; returns it if it was dirty.
+  std::optional<Victim> invalidate(u64 line_addr);
+
+  /// Flushes every line; dirty ones are appended to `out`.
+  void flush(std::vector<Victim>& out);
+
+  [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  /// Counts currently-resident valid lines (O(capacity); for tests).
+  [[nodiscard]] usize resident_lines() const noexcept;
+
+  /// Records a hit/miss observation (the hierarchy drives these so that a
+  /// contains+fill sequence counts once).
+  void count_hit() noexcept { ++stats_.hits; }
+  void count_miss() noexcept { ++stats_.misses; }
+
+ private:
+  struct Way {
+    u64 line_addr = 0;
+    CacheLine data;
+    u64 last_use = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  [[nodiscard]] usize set_index(u64 line_addr) const noexcept;
+  [[nodiscard]] Way* find(u64 line_addr) noexcept;
+  [[nodiscard]] const Way* find(u64 line_addr) const noexcept;
+
+  CacheConfig config_;
+  std::vector<Way> ways_;  // sets() * ways, set-major
+  CacheStats stats_;
+  u64 tick_ = 0;
+};
+
+}  // namespace nvmenc

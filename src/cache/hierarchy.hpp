@@ -1,0 +1,59 @@
+// CacheHierarchy: a stack of CacheLevels in front of a line-granularity
+// memory backend.
+//
+// CPU word accesses enter at L1; misses fill from the first lower level
+// that holds the line (or from the backend), allocating in every level on
+// the path. Dirty evictions cascade downward; dirty evictions from the last
+// level become the write-back stream the NVM encoders consume — the same
+// stream a gem5+NVMain setup would deliver.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "trace/access.hpp"
+
+namespace nvmenc {
+
+/// The memory side of the hierarchy. In the full simulator this is the NVM
+/// memory controller; tests use a flat map.
+class LineBackend {
+ public:
+  virtual ~LineBackend() = default;
+  /// Fetches the current contents of a line (fill path).
+  [[nodiscard]] virtual CacheLine read_line(u64 line_addr) = 0;
+  /// Receives a dirty line evicted from the last cache level.
+  virtual void write_line(u64 line_addr, const CacheLine& data) = 0;
+};
+
+class CacheHierarchy {
+ public:
+  /// `configs` is ordered from the level closest to the CPU (L1) outward.
+  /// The backend must outlive the hierarchy.
+  CacheHierarchy(std::vector<CacheConfig> configs, LineBackend& backend);
+
+  /// Applies one CPU access. Reads return the loaded word value.
+  u64 access(const MemAccess& access);
+
+  /// Writes every dirty line back to the backend and empties all levels.
+  void flush();
+
+  [[nodiscard]] usize levels() const noexcept { return levels_.size(); }
+  [[nodiscard]] const CacheLevel& level(usize i) const { return *levels_[i]; }
+  /// Total CPU accesses served.
+  [[nodiscard]] u64 accesses() const noexcept { return accesses_; }
+
+ private:
+  /// Ensures the line is resident in level 0 and returns its data pointer.
+  CacheLine* fill_to_l1(u64 line_addr);
+  /// Inserts into `level`, cascading any dirty victim downward.
+  void insert_and_cascade(usize level, u64 line_addr, const CacheLine& data,
+                          bool dirty);
+
+  std::vector<std::unique_ptr<CacheLevel>> levels_;
+  LineBackend* backend_;
+  u64 accesses_ = 0;
+};
+
+}  // namespace nvmenc

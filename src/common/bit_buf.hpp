@@ -1,0 +1,119 @@
+// BitBuf: a fixed-capacity (512-bit) variable-length bit string.
+//
+// READ concatenates the M dirty words of a line into an M*64-bit vector and
+// slices it into equal tag segments; BitBuf is that vector. It also carries
+// compressed-word payloads in the compression substrate. Capacity is one
+// cache line plus two words of headroom (an FPC stream can exceed the line
+// by up to 3 bits per word), which bounds every use in this library; there
+// is no heap traffic on the encode path.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace nvmenc {
+
+class BitBuf {
+ public:
+  static constexpr usize kCapacityBits = kLineBits + 2 * kWordBits;
+
+  /// Empty buffer.
+  constexpr BitBuf() noexcept : words_{}, size_{0} {}
+
+  /// Zero-filled buffer of `size` bits.
+  explicit BitBuf(usize size) : words_{}, size_{size} {
+    require(size <= kCapacityBits, "BitBuf size exceeds capacity");
+  }
+
+  [[nodiscard]] constexpr usize size() const noexcept { return size_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return size_ == 0; }
+
+  /// Appends the low `len` (0..64) bits of `value`.
+  void push_bits(u64 value, usize len) {
+    require(size_ + len <= kCapacityBits, "BitBuf overflow");
+    if (len == 0) return;
+    deposit_bits(std::span<u64>{words_}, size_, len, value);
+    size_ += len;
+  }
+
+  /// Appends a single bit.
+  void push_bit(bool value) { push_bits(value ? 1u : 0u, 1); }
+
+  /// Reads `len` (1..64) bits starting at `pos`.
+  [[nodiscard]] u64 bits(usize pos, usize len) const {
+    require(pos + len <= size_, "BitBuf read out of range");
+    return extract_bits(std::span<const u64>{words_}, pos, len);
+  }
+
+  [[nodiscard]] bool bit(usize pos) const {
+    require(pos < size_, "BitBuf bit out of range");
+    return get_bit(std::span<const u64>{words_}, pos);
+  }
+
+  void set_bits(usize pos, usize len, u64 value) {
+    require(pos + len <= size_, "BitBuf write out of range");
+    deposit_bits(std::span<u64>{words_}, pos, len, value);
+  }
+
+  void set_bit(usize pos, bool value) {
+    require(pos < size_, "BitBuf set out of range");
+    nvmenc::set_bit(std::span<u64>{words_}, pos, value);
+  }
+
+  /// Flips every bit in [pos, pos + len).
+  void flip_range(usize pos, usize len) {
+    require(pos + len <= size_, "BitBuf flip out of range");
+    nvmenc::flip_range(std::span<u64>{words_}, pos, len);
+  }
+
+  /// Hamming distance over [pos, pos + len) against another buffer.
+  [[nodiscard]] usize hamming_range(const BitBuf& other, usize pos,
+                                    usize len) const {
+    require(pos + len <= size_ && pos + len <= other.size_,
+            "BitBuf hamming out of range");
+    return nvmenc::hamming_range(words_, other.words_, pos, len);
+  }
+
+  /// Hamming distance over the full (common) length.
+  [[nodiscard]] usize hamming(const BitBuf& other) const {
+    const usize n = size_ < other.size_ ? size_ : other.size_;
+    return n == 0 ? 0 : nvmenc::hamming_range(words_, other.words_, 0, n);
+  }
+
+  [[nodiscard]] usize popcount() const noexcept {
+    usize n = 0;
+    usize remaining = size_;
+    for (usize i = 0; remaining > 0; ++i) {
+      const usize chunk = remaining < 64 ? remaining : 64;
+      n += nvmenc::popcount(words_[i] & low_mask(chunk));
+      remaining -= chunk;
+    }
+    return n;
+  }
+
+  bool operator==(const BitBuf& other) const noexcept {
+    if (size_ != other.size_) return false;
+    usize remaining = size_;
+    for (usize i = 0; remaining > 0; ++i) {
+      const usize chunk = remaining < 64 ? remaining : 64;
+      if ((words_[i] & low_mask(chunk)) != (other.words_[i] & low_mask(chunk)))
+        return false;
+      remaining -= chunk;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::span<const u64> words() const noexcept {
+    return {words_.data(), (size_ + 63) / 64};
+  }
+
+ private:
+  std::array<u64, kCapacityBits / 64> words_;
+  usize size_;
+};
+
+}  // namespace nvmenc

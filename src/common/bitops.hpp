@@ -1,0 +1,130 @@
+// Bit-manipulation kernels used throughout the encoders.
+//
+// Everything here operates on plain u64 words or spans of them; the
+// CacheLine and BitBuf value types build on these primitives. All functions
+// are constexpr-friendly and branch-light — they sit on the innermost loop
+// of every encoder.
+#pragma once
+
+#include <bit>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace nvmenc {
+
+/// Number of set bits in `x`.
+[[nodiscard]] constexpr usize popcount(u64 x) noexcept {
+  return static_cast<usize>(std::popcount(x));
+}
+
+/// Hamming distance between two words: the bit flips incurred when the
+/// stored word `a` is overwritten with `b` under differential write (DCW).
+[[nodiscard]] constexpr usize hamming(u64 a, u64 b) noexcept {
+  return popcount(a ^ b);
+}
+
+/// Hamming distance between two equally-sized word spans.
+[[nodiscard]] inline usize hamming(std::span<const u64> a,
+                                   std::span<const u64> b) noexcept {
+  usize d = 0;
+  const usize n = a.size() < b.size() ? a.size() : b.size();
+  for (usize i = 0; i < n; ++i) d += hamming(a[i], b[i]);
+  return d;
+}
+
+/// A mask with the low `n` bits set; n == 64 yields all ones, n == 0 zero.
+[[nodiscard]] constexpr u64 low_mask(usize n) noexcept {
+  return n >= 64 ? ~u64{0} : ((u64{1} << n) - 1);
+}
+
+/// Reads bit `pos` of a word array laid out little-endian (bit 0 = LSB of
+/// word 0).
+[[nodiscard]] constexpr bool get_bit(std::span<const u64> words,
+                                     usize pos) noexcept {
+  return (words[pos / 64] >> (pos % 64)) & 1u;
+}
+
+/// Writes bit `pos` of a word array.
+constexpr void set_bit(std::span<u64> words, usize pos, bool value) noexcept {
+  const u64 mask = u64{1} << (pos % 64);
+  if (value) {
+    words[pos / 64] |= mask;
+  } else {
+    words[pos / 64] &= ~mask;
+  }
+}
+
+/// Flips bit `pos` of a word array.
+constexpr void flip_bit(std::span<u64> words, usize pos) noexcept {
+  words[pos / 64] ^= u64{1} << (pos % 64);
+}
+
+/// Extracts `len` (1..64) bits starting at bit `pos` from a word array.
+[[nodiscard]] constexpr u64 extract_bits(std::span<const u64> words, usize pos,
+                                         usize len) noexcept {
+  const usize word = pos / 64;
+  const usize off = pos % 64;
+  u64 value = words[word] >> off;
+  if (off + len > 64 && word + 1 < words.size()) {
+    value |= words[word + 1] << (64 - off);
+  }
+  return value & low_mask(len);
+}
+
+/// Deposits the low `len` (1..64) bits of `value` at bit `pos` of a word
+/// array, leaving surrounding bits untouched.
+constexpr void deposit_bits(std::span<u64> words, usize pos, usize len,
+                            u64 value) noexcept {
+  const u64 masked = value & low_mask(len);
+  const usize word = pos / 64;
+  const usize off = pos % 64;
+  words[word] &= ~(low_mask(len) << off);
+  words[word] |= masked << off;
+  if (off + len > 64 && word + 1 < words.size()) {
+    const usize spill = off + len - 64;
+    words[word + 1] &= ~low_mask(spill);
+    words[word + 1] |= masked >> (64 - off);
+  }
+}
+
+/// Hamming distance restricted to bits [pos, pos + len) of two word arrays.
+[[nodiscard]] inline usize hamming_range(std::span<const u64> a,
+                                         std::span<const u64> b, usize pos,
+                                         usize len) noexcept {
+  usize d = 0;
+  usize p = pos;
+  usize remaining = len;
+  while (remaining > 0) {
+    const usize chunk = remaining < 64 ? remaining : 64;
+    d += hamming(extract_bits(a, p, chunk), extract_bits(b, p, chunk));
+    p += chunk;
+    remaining -= chunk;
+  }
+  return d;
+}
+
+/// XOR-flips all bits in [pos, pos + len) of a word array. This is the
+/// Flip-N-Write inversion primitive.
+inline void flip_range(std::span<u64> words, usize pos, usize len) noexcept {
+  usize p = pos;
+  usize remaining = len;
+  while (remaining > 0) {
+    const usize chunk = remaining < 64 ? remaining : 64;
+    deposit_bits(words, p, chunk, ~extract_bits(words, p, chunk));
+    p += chunk;
+    remaining -= chunk;
+  }
+}
+
+/// Largest power of two that is <= x (x must be >= 1).
+[[nodiscard]] constexpr usize floor_pow2(usize x) noexcept {
+  return usize{1} << (std::bit_width(x) - 1);
+}
+
+/// True when x is a power of two.
+[[nodiscard]] constexpr bool is_pow2(usize x) noexcept {
+  return std::has_single_bit(x);
+}
+
+}  // namespace nvmenc

@@ -1,0 +1,20 @@
+#include "common/cache_line.hpp"
+
+#include <cstdio>
+
+namespace nvmenc {
+
+std::string CacheLine::to_string() const {
+  std::string out;
+  out.reserve(kWordsPerLine * 17);
+  char buf[20];
+  for (usize i = kWordsPerLine; i-- > 0;) {
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(words_[i]));
+    out += buf;
+    if (i != 0) out += ' ';
+  }
+  return out;
+}
+
+}  // namespace nvmenc

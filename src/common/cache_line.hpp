@@ -1,0 +1,103 @@
+// CacheLine: the 512-bit value type every layer of the stack trades in.
+//
+// A line is eight 64-bit words in little-endian bit order (bit 0 = LSB of
+// word 0). The type is a regular value: copyable, comparable, hashable,
+// cheap to pass around. Encoders operate on whole lines; the cache and NVM
+// models store them by value.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <span>
+#include <string>
+
+#include "common/bitops.hpp"
+#include "common/types.hpp"
+
+namespace nvmenc {
+
+class CacheLine {
+ public:
+  /// All-zero line.
+  constexpr CacheLine() noexcept : words_{} {}
+
+  /// Line from eight explicit words (word 0 first).
+  constexpr explicit CacheLine(
+      const std::array<u64, kWordsPerLine>& words) noexcept
+      : words_{words} {}
+
+  /// Line with every word set to `fill`.
+  [[nodiscard]] static constexpr CacheLine filled(u64 fill) noexcept {
+    CacheLine line;
+    for (auto& w : line.words_) w = fill;
+    return line;
+  }
+
+  [[nodiscard]] constexpr u64 word(usize i) const noexcept {
+    return words_[i];
+  }
+  constexpr void set_word(usize i, u64 value) noexcept { words_[i] = value; }
+
+  [[nodiscard]] constexpr bool bit(usize pos) const noexcept {
+    return get_bit(words_, pos);
+  }
+  constexpr void set_bit(usize pos, bool value) noexcept {
+    nvmenc::set_bit(std::span<u64>{words_}, pos, value);
+  }
+
+  [[nodiscard]] std::span<const u64, kWordsPerLine> words() const noexcept {
+    return words_;
+  }
+  [[nodiscard]] std::span<u64, kWordsPerLine> words() noexcept {
+    return words_;
+  }
+
+  /// Number of set bits in the whole line.
+  [[nodiscard]] usize popcount() const noexcept {
+    usize n = 0;
+    for (u64 w : words_) n += nvmenc::popcount(w);
+    return n;
+  }
+
+  /// Bit flips incurred overwriting this line with `other` under
+  /// differential write.
+  [[nodiscard]] usize hamming(const CacheLine& other) const noexcept {
+    return nvmenc::hamming(words_, other.words_);
+  }
+
+  /// Word-granularity dirtiness mask: bit i set iff word i differs from
+  /// `other`'s word i. This is the paper's dirty-flag computation.
+  [[nodiscard]] constexpr u8 dirty_mask(const CacheLine& other) const noexcept {
+    u8 mask = 0;
+    for (usize i = 0; i < kWordsPerLine; ++i) {
+      if (words_[i] != other.words_[i]) mask |= static_cast<u8>(1u << i);
+    }
+    return mask;
+  }
+
+  /// Bitwise complement of the line.
+  [[nodiscard]] constexpr CacheLine operator~() const noexcept {
+    CacheLine r;
+    for (usize i = 0; i < kWordsPerLine; ++i) r.words_[i] = ~words_[i];
+    return r;
+  }
+
+  [[nodiscard]] constexpr CacheLine operator^(
+      const CacheLine& other) const noexcept {
+    CacheLine r;
+    for (usize i = 0; i < kWordsPerLine; ++i) {
+      r.words_[i] = words_[i] ^ other.words_[i];
+    }
+    return r;
+  }
+
+  constexpr bool operator==(const CacheLine&) const noexcept = default;
+
+  /// Hex dump, word 7 first (most significant), for diagnostics.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::array<u64, kWordsPerLine> words_;
+};
+
+}  // namespace nvmenc

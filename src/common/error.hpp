@@ -1,0 +1,28 @@
+// Contract-checking helpers.
+//
+// Constructor/configuration validation throws std::invalid_argument so that
+// a misconfigured encoder or cache can never be observed in a half-built
+// state; internal invariant violations throw std::logic_error. The hot
+// encode/decode paths validate inputs once at the boundary and stay
+// exception-free afterwards.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nvmenc {
+
+/// Throws std::invalid_argument with `message` when `condition` is false.
+/// Use for caller-supplied arguments and configuration values.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+/// Throws std::logic_error with `message` when `condition` is false.
+/// Use for internal invariants ("this cannot happen unless the library
+/// itself is wrong").
+inline void ensure(bool condition, const std::string& message) {
+  if (!condition) throw std::logic_error(message);
+}
+
+}  // namespace nvmenc

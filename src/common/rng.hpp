@@ -1,0 +1,82 @@
+// Deterministic pseudo-random number generation.
+//
+// Every experiment in this repository is seeded explicitly so that each
+// figure regenerates bit-for-bit. SplitMix64 seeds Xoshiro256**, the main
+// generator (fast, 256-bit state, passes BigCrush). Xoshiro256 satisfies
+// std::uniform_random_bit_generator so it also plugs into <random>
+// distributions where needed.
+#pragma once
+
+#include <array>
+#include <bit>
+
+#include "common/types.hpp"
+
+namespace nvmenc {
+
+/// SplitMix64: stateless-ish stream used to expand a single u64 seed.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(u64 seed) noexcept : state_{seed} {}
+
+  constexpr u64 next() noexcept {
+    u64 z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  u64 state_;
+};
+
+/// Xoshiro256**: the workhorse generator.
+class Xoshiro256 {
+ public:
+  using result_type = u64;
+
+  constexpr explicit Xoshiro256(u64 seed) noexcept : state_{} {
+    SplitMix64 sm{seed};
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~u64{0}; }
+
+  constexpr u64 operator()() noexcept { return next(); }
+
+  constexpr u64 next() noexcept {
+    const u64 result = std::rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = std::rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  constexpr u64 next_below(u64 bound) noexcept {
+    // Unbiased modulo rejection: discard the partial top interval.
+    const u64 threshold = (0 - bound) % bound;  // (2^64 - bound) mod bound
+    for (;;) {
+      const u64 x = next();
+      if (x >= threshold) return x % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p.
+  constexpr bool next_bool(double p) noexcept { return next_double() < p; }
+
+ private:
+  std::array<u64, 4> state_;
+};
+
+}  // namespace nvmenc

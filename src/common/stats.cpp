@@ -1,0 +1,33 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+
+namespace nvmenc {
+
+double Histogram::mean() const noexcept {
+  if (total_ == 0) return 0.0;
+  double sum = 0.0;
+  for (usize v = 0; v < buckets_.size(); ++v) {
+    sum += static_cast<double>(v) * static_cast<double>(buckets_[v]);
+  }
+  return sum / static_cast<double>(total_);
+}
+
+double geomean(const std::vector<double>& ratios) {
+  require(!ratios.empty(), "geomean of empty set");
+  double log_sum = 0.0;
+  for (double r : ratios) {
+    require(r > 0.0, "geomean requires strictly positive ratios");
+    log_sum += std::log(r);
+  }
+  return std::exp(log_sum / static_cast<double>(ratios.size()));
+}
+
+double mean(const std::vector<double>& values) {
+  require(!values.empty(), "mean of empty set");
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace nvmenc

@@ -1,0 +1,94 @@
+// Statistics accumulators used by the simulator and the benchmark harness.
+//
+// RunningStat tracks count/mean/min/max/variance online (Welford);
+// Histogram buckets integer observations; geomean_ratio reduces a set of
+// per-benchmark normalized results the way the paper reports averages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace nvmenc {
+
+/// Online mean / variance / extrema over a stream of doubles.
+class RunningStat {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || count_ == 1) min_ = x;
+    if (x > max_ || count_ == 1) max_ = x;
+  }
+
+  [[nodiscard]] u64 count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Sample variance (n - 1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+
+ private:
+  u64 count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-range integer histogram with an overflow bucket.
+class Histogram {
+ public:
+  /// Buckets 0..max_value plus one overflow bucket for larger observations.
+  explicit Histogram(usize max_value)
+      : buckets_(max_value + 2, 0), max_value_{max_value} {}
+
+  void add(usize value, u64 weight = 1) noexcept {
+    const usize idx = value <= max_value_ ? value : max_value_ + 1;
+    buckets_[idx] += weight;
+    total_ += weight;
+  }
+
+  [[nodiscard]] u64 count(usize value) const {
+    require(value <= max_value_, "Histogram bucket out of range");
+    return buckets_[value];
+  }
+  [[nodiscard]] u64 overflow() const noexcept {
+    return buckets_[max_value_ + 1];
+  }
+  [[nodiscard]] u64 total() const noexcept { return total_; }
+  [[nodiscard]] usize max_value() const noexcept { return max_value_; }
+
+  /// Fraction of observations equal to `value`; 0 when empty.
+  [[nodiscard]] double fraction(usize value) const {
+    return total_ == 0
+               ? 0.0
+               : static_cast<double>(count(value)) /
+                     static_cast<double>(total_);
+  }
+
+  /// Weighted mean of the bucket indices (overflow counted at max+1).
+  [[nodiscard]] double mean() const noexcept;
+
+ private:
+  std::vector<u64> buckets_;
+  usize max_value_;
+  u64 total_ = 0;
+};
+
+/// Geometric mean of a set of strictly positive ratios. The paper's
+/// "reduce energy by 20.3%" style numbers are geomeans of per-benchmark
+/// scheme/baseline ratios.
+[[nodiscard]] double geomean(const std::vector<double>& ratios);
+
+/// Arithmetic mean; throws on empty input.
+[[nodiscard]] double mean(const std::vector<double>& values);
+
+}  // namespace nvmenc

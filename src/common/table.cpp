@@ -1,0 +1,96 @@
+#include "common/table.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/error.hpp"
+
+namespace nvmenc {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_{std::move(header)} {
+  require(!header_.empty(), "TextTable needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  require(row.size() == header_.size(),
+          "TextTable row width does not match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string TextTable::fmt_pct(double ratio, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.*f%%", precision, ratio * 100.0);
+  return buf;
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<usize> width(header_.size());
+  for (usize c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (usize c = 0; c < row.size(); ++c) {
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (usize c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        for (usize pad = row[c].size(); pad < width[c] + 2; ++pad) os << ' ';
+      }
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  usize total = 0;
+  for (usize c = 0; c < width.size(); ++c) total += width[c] + 2;
+  for (usize i = 0; i + 2 < total; ++i) os << '-';
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+void write_csv_cell(std::ostream& os, const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) {
+    os << cell;
+    return;
+  }
+  os << '"';
+  for (char ch : cell) {
+    if (ch == '"') os << '"';
+    os << ch;
+  }
+  os << '"';
+}
+
+void write_csv_row(std::ostream& os, const std::vector<std::string>& row) {
+  for (usize c = 0; c < row.size(); ++c) {
+    if (c != 0) os << ',';
+    write_csv_cell(os, row[c]);
+  }
+  os << '\n';
+}
+}  // namespace
+
+void TextTable::write_csv(std::ostream& os) const {
+  write_csv_row(os, header_);
+  for (const auto& row : rows_) write_csv_row(os, row);
+}
+
+void TextTable::write_csv_file(const std::string& path) const {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error("cannot open CSV output: " + path);
+  write_csv(out);
+}
+
+}  // namespace nvmenc

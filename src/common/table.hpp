@@ -1,0 +1,44 @@
+// TextTable: aligned console tables plus CSV export.
+//
+// Every bench binary prints the same rows/series the paper's figures plot;
+// TextTable renders them readably on stdout and optionally mirrors them to
+// a CSV file so the figures can be re-plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nvmenc {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; must have as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  [[nodiscard]] static std::string fmt(double value, int precision = 3);
+  /// Convenience: formats a ratio as a signed percentage ("-25.0%").
+  [[nodiscard]] static std::string fmt_pct(double ratio, int precision = 1);
+
+  /// Renders with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void write_csv(std::ostream& os) const;
+  /// Writes CSV to `path`; throws std::runtime_error when unwritable.
+  void write_csv_file(const std::string& path) const;
+
+  [[nodiscard]] usize rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] usize columns() const noexcept { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nvmenc

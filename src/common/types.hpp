@@ -1,0 +1,35 @@
+// Fundamental width aliases and geometry constants shared by every module.
+//
+// The geometry follows the paper's evaluation platform (Table 2): 64-byte
+// cache lines built from eight 64-bit words, written back to a PCM main
+// memory whose encoder owns a 32-bit tag budget per line.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nvmenc {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+using usize = std::size_t;
+
+/// Bits in one CPU word (the paper's dirty-word detection granularity).
+inline constexpr usize kWordBits = 64;
+/// Bits in one cache line.
+inline constexpr usize kLineBits = 512;
+/// Bytes in one cache line.
+inline constexpr usize kLineBytes = kLineBits / 8;
+/// 64-bit words in one cache line.
+inline constexpr usize kWordsPerLine = kLineBits / kWordBits;
+/// Tag-bit budget READ shares across one cache line (Section 3.4.1).
+inline constexpr usize kTagBudget = 32;
+/// Bits of the per-line dirty flag (one per word, Section 3.1.2).
+inline constexpr usize kDirtyFlagBits = kWordsPerLine;
+/// Bits of the SAE granularity flag (Section 3.2.2).
+inline constexpr usize kGranularityFlagBits = 2;
+
+}  // namespace nvmenc

@@ -1,0 +1,158 @@
+#include "compress/bdi.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace nvmenc {
+
+namespace {
+
+/// Reads element `i` of the line viewed as `elem_bits`-wide little-endian
+/// elements.
+u64 element(const CacheLine& line, usize elem_bits, usize i) noexcept {
+  return extract_bits(line.words(), i * elem_bits, elem_bits);
+}
+
+struct BdiScheme {
+  u8 id;
+  usize elem_bits;
+  usize delta_bits;
+};
+
+constexpr std::array<BdiScheme, 6> kBaseDeltaSchemes = {{
+    {2, 64, 8},
+    {3, 64, 16},
+    {4, 64, 32},
+    {5, 32, 8},
+    {6, 32, 16},
+    {7, 16, 8},
+}};
+
+[[nodiscard]] usize scheme_bits(const BdiScheme& s) noexcept {
+  const usize elems = kLineBits / s.elem_bits;
+  return 4 + s.elem_bits + elems * s.delta_bits;
+}
+
+[[nodiscard]] bool scheme_applies(const CacheLine& line, const BdiScheme& s) {
+  const usize elems = kLineBits / s.elem_bits;
+  const u64 base = element(line, s.elem_bits, 0);
+  for (usize i = 1; i < elems; ++i) {
+    const u64 delta =
+        (element(line, s.elem_bits, i) - base) & low_mask(s.elem_bits);
+    // Interpret the elem_bits-wide difference as signed.
+    const bool sign = (delta >> (s.delta_bits - 1)) & 1;
+    const u64 ext =
+        sign ? (delta | (low_mask(s.elem_bits) & ~low_mask(s.delta_bits)))
+             : (delta & low_mask(s.delta_bits));
+    if (ext != delta) return false;
+  }
+  return true;
+}
+
+[[nodiscard]] bool is_zero_line(const CacheLine& line) noexcept {
+  for (usize w = 0; w < kWordsPerLine; ++w) {
+    if (line.word(w) != 0) return false;
+  }
+  return true;
+}
+
+[[nodiscard]] bool is_repeat64(const CacheLine& line) noexcept {
+  for (usize w = 1; w < kWordsPerLine; ++w) {
+    if (line.word(w) != line.word(0)) return false;
+  }
+  return true;
+}
+
+/// Picks the cheapest applicable scheme id for `line` (always defined).
+[[nodiscard]] u8 pick_scheme(const CacheLine& line) {
+  if (is_zero_line(line)) return 0;
+  if (is_repeat64(line)) return 1;
+  u8 best = 15;
+  usize best_bits = 4 + kLineBits;
+  for (const BdiScheme& s : kBaseDeltaSchemes) {
+    if (scheme_bits(s) < best_bits && scheme_applies(line, s)) {
+      best = s.id;
+      best_bits = scheme_bits(s);
+    }
+  }
+  return best;
+}
+
+[[nodiscard]] const BdiScheme& scheme_by_id(u8 id) {
+  for (const BdiScheme& s : kBaseDeltaSchemes) {
+    if (s.id == id) return s;
+  }
+  throw std::invalid_argument("BDI: not a base-delta scheme id");
+}
+
+}  // namespace
+
+usize bdi_compressed_bits(const CacheLine& line) {
+  const u8 id = pick_scheme(line);
+  if (id == 0) return 4;
+  if (id == 1) return 4 + 64;
+  if (id == 15) return 4 + kLineBits;
+  return scheme_bits(scheme_by_id(id));
+}
+
+BitBuf bdi_compress_line(const CacheLine& line) {
+  const u8 id = pick_scheme(line);
+  BitBuf out;
+  out.push_bits(id, 4);
+  if (id == 0) return out;
+  if (id == 1) {
+    out.push_bits(line.word(0), 64);
+    return out;
+  }
+  if (id == 15) {
+    for (usize w = 0; w < kWordsPerLine; ++w) out.push_bits(line.word(w), 64);
+    return out;
+  }
+  const BdiScheme& s = scheme_by_id(id);
+  const usize elems = kLineBits / s.elem_bits;
+  const u64 base = element(line, s.elem_bits, 0);
+  out.push_bits(base, s.elem_bits);
+  for (usize i = 0; i < elems; ++i) {
+    const u64 delta =
+        (element(line, s.elem_bits, i) - base) & low_mask(s.delta_bits);
+    out.push_bits(delta, s.delta_bits);
+  }
+  return out;
+}
+
+CacheLine bdi_decompress_line(const BitBuf& stream) {
+  require(stream.size() >= 4, "BDI stream truncated (id)");
+  const u8 id = static_cast<u8>(stream.bits(0, 4));
+  CacheLine line;
+  if (id == 0) return line;
+  if (id == 1) {
+    require(stream.size() >= 4 + 64, "BDI stream truncated (repeat)");
+    const u64 v = stream.bits(4, 64);
+    for (usize w = 0; w < kWordsPerLine; ++w) line.set_word(w, v);
+    return line;
+  }
+  if (id == 15) {
+    require(stream.size() >= 4 + kLineBits, "BDI stream truncated (raw)");
+    for (usize w = 0; w < kWordsPerLine; ++w) {
+      line.set_word(w, stream.bits(4 + w * 64, 64));
+    }
+    return line;
+  }
+  const BdiScheme& s = scheme_by_id(id);
+  const usize elems = kLineBits / s.elem_bits;
+  require(stream.size() >= scheme_bits(s), "BDI stream truncated (deltas)");
+  const u64 base = stream.bits(4, s.elem_bits);
+  usize pos = 4 + s.elem_bits;
+  for (usize i = 0; i < elems; ++i) {
+    u64 delta = stream.bits(pos, s.delta_bits);
+    pos += s.delta_bits;
+    const bool sign = (delta >> (s.delta_bits - 1)) & 1;
+    if (sign) delta |= low_mask(s.elem_bits) & ~low_mask(s.delta_bits);
+    const u64 value = (base + delta) & low_mask(s.elem_bits);
+    deposit_bits(line.words(), i * s.elem_bits, s.elem_bits, value);
+  }
+  return line;
+}
+
+}  // namespace nvmenc

@@ -1,0 +1,40 @@
+// Base-Delta-Immediate (BDI) line compression.
+//
+// A second line-granularity compressor alongside FPC, used by the
+// compression-sensitivity ablation of the COEF baseline (the COE paper
+// itself is compressor-agnostic). This is the single-base variant of
+// Pekhimenko et al.'s BΔI: the line is viewed as an array of fixed-size
+// elements; if every element's delta from the first element fits a narrow
+// signed field, the line is stored as base + deltas.
+//
+// Scheme ids (4-bit prefix on the compressed stream):
+//   0  zeros        all bytes zero                        ->   4 bits
+//   1  repeat64     one u64 repeated                      ->  68 bits
+//   2  b8d1         u64 base + 8 x  8-bit deltas          -> 132 bits
+//   3  b8d2         u64 base + 8 x 16-bit deltas          -> 196 bits
+//   4  b8d4         u64 base + 8 x 32-bit deltas          -> 324 bits
+//   5  b4d1         u32 base + 16 x 8-bit deltas          -> 164 bits
+//   6  b4d2         u32 base + 16 x 16-bit deltas         -> 292 bits
+//   7  b2d1         u16 base + 32 x 8-bit deltas          -> 276 bits
+//   15 raw          uncompressed line                     -> 516 bits
+#pragma once
+
+#include <optional>
+
+#include "common/bit_buf.hpp"
+#include "common/cache_line.hpp"
+
+namespace nvmenc {
+
+/// Compresses `line` into the cheapest applicable scheme (always succeeds;
+/// worst case is `raw`). The stream starts with the 4-bit scheme id.
+[[nodiscard]] BitBuf bdi_compress_line(const CacheLine& line);
+
+/// Inverse of bdi_compress_line; throws std::invalid_argument on a
+/// malformed stream.
+[[nodiscard]] CacheLine bdi_decompress_line(const BitBuf& stream);
+
+/// Size in bits of bdi_compress_line(line) without materializing it.
+[[nodiscard]] usize bdi_compressed_bits(const CacheLine& line);
+
+}  // namespace nvmenc

@@ -1,0 +1,191 @@
+#include "core/paper_model.hpp"
+
+#include "common/bit_buf.hpp"
+#include "common/error.hpp"
+#include "compress/fpc.hpp"
+
+namespace nvmenc {
+
+FlipBreakdown PaperModelAfnw::write(PaperModelAfnwState& state,
+                                    const CacheLine& old_line,
+                                    const CacheLine& new_line) const {
+  FlipBreakdown fb;
+  for (usize w = 0; w < kWordsPerLine; ++w) {
+    if (old_line.word(w) == new_line.word(w)) continue;  // clean word
+    const FpcWord cw = fpc_compress_word(new_line.word(w));
+    const u64 old_plain = old_line.word(w);
+    const u64 old_tags = (state.tags >> (w * kTagsPerWord)) &
+                         low_mask(kTagsPerWord);
+
+    u64 new_tags = old_tags;
+    usize pos = 0;
+    for (usize k = 0; k < kTagsPerWord; ++k) {
+      const usize len = cw.payload_bits / kTagsPerWord +
+                        (k < cw.payload_bits % kTagsPerWord ? 1 : 0);
+      if (len == 0) continue;
+      const u64 old_seg = extract_bits({&old_plain, 1}, pos, len);
+      const u64 data_seg = (cw.payload >> pos) & low_mask(len);
+      const bool old_tag = (old_tags >> k) & 1;
+      const usize cost_plain = hamming(old_seg, data_seg) + (old_tag ? 1 : 0);
+      const usize cost_flip =
+          hamming(old_seg, ~data_seg & low_mask(len)) + (old_tag ? 0 : 1);
+      const bool flip = cost_flip < cost_plain;
+      const u64 seg = flip ? (~data_seg & low_mask(len)) : data_seg;
+      fb.data += hamming(old_seg, seg);
+      fb.sets += popcount(~old_seg & seg);
+      fb.resets += popcount(old_seg & ~seg & low_mask(len));
+      if (flip != old_tag) {
+        ++fb.tag;
+        if (flip) {
+          ++fb.sets;
+        } else {
+          ++fb.resets;
+        }
+      }
+      if (flip) {
+        new_tags |= u64{1} << k;
+      } else {
+        new_tags &= ~(u64{1} << k);
+      }
+      pos += len;
+    }
+    state.tags &= ~(low_mask(kTagsPerWord) << (w * kTagsPerWord));
+    state.tags |= new_tags << (w * kTagsPerWord);
+
+    const u64 old_pattern = (state.patterns >> (w * kPatternBits)) &
+                            low_mask(kPatternBits);
+    const u64 delta = old_pattern ^ cw.pattern;
+    fb.flag += popcount(delta);
+    fb.sets += popcount(delta & cw.pattern);
+    fb.resets += popcount(delta & old_pattern);
+    state.patterns &= static_cast<u32>(~(low_mask(kPatternBits)
+                                         << (w * kPatternBits)));
+    state.patterns |= static_cast<u32>(static_cast<u64>(cw.pattern)
+                                       << (w * kPatternBits));
+  }
+  return fb;
+}
+
+namespace {
+
+BitBuf gather(const CacheLine& line, u8 mask) {
+  BitBuf out;
+  for (usize w = 0; w < kWordsPerLine; ++w) {
+    if ((mask >> w) & 1) out.push_bits(line.word(w), kWordBits);
+  }
+  return out;
+}
+
+}  // namespace
+
+PaperModelReadSae::PaperModelReadSae(AdaptiveConfig config)
+    : config_{config} {
+  config_.validate();
+}
+
+usize PaperModelReadSae::meta_bits() const noexcept {
+  return config_.tag_budget +
+         (config_.redundant_word_aware ? kDirtyFlagBits : 0) +
+         (config_.granularity_levels > 1 ? kGranularityFlagBits : 0);
+}
+
+FlipBreakdown PaperModelReadSae::write(PaperModelLineState& state,
+                                       const CacheLine& old_line,
+                                       const CacheLine& new_line) const {
+  const u8 dirty = config_.redundant_word_aware
+                       ? new_line.dirty_mask(old_line)
+                       : u8{0xff};
+  const usize dirty_words = popcount(dirty);
+  if (dirty_words == 0) return {};
+
+  const BitBuf old_bits = gather(old_line, dirty);
+  const BitBuf new_bits = gather(new_line, dirty);
+  const usize total_bits = dirty_words * kWordBits;
+
+  // Evaluate the granularity options over the logical old/new pair (the
+  // paper's Figure 6 parallel evaluation).
+  usize best_f = 0;
+  usize best_cost = ~usize{0};
+  for (usize f = 0; f < config_.granularity_levels; ++f) {
+    const usize tags = config_.tag_budget >> f;
+    const usize seg_bits = total_bits / tags;
+    usize cost = 0;
+    for (usize s = 0; s < tags; ++s) {
+      const usize h = old_bits.hamming_range(new_bits, s * seg_bits, seg_bits);
+      const bool old_tag = (state.tags >> s) & 1;
+      const usize cost_plain = h + (old_tag ? 1 : 0);
+      const usize cost_flip = (seg_bits - h) + (old_tag ? 0 : 1);
+      cost += cost_plain < cost_flip ? cost_plain : cost_flip;
+    }
+    if (config_.granularity_levels > 1) {
+      cost += hamming(static_cast<u64>(state.gran_flag),
+                      static_cast<u64>(f));
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_f = f;
+    }
+  }
+
+  // Apply: account flips with direction split. The "stored" reference for
+  // data cells is the plain old data (the paper model's idealization).
+  FlipBreakdown fb;
+  const usize tags = config_.tag_budget >> best_f;
+  const usize seg_bits = total_bits / tags;
+  u64 new_tags = state.tags;
+  for (usize s = 0; s < tags; ++s) {
+    const usize pos = s * seg_bits;
+    const usize h = old_bits.hamming_range(new_bits, pos, seg_bits);
+    const bool old_tag = (state.tags >> s) & 1;
+    const usize cost_plain = h + (old_tag ? 1 : 0);
+    const usize cost_flip = (seg_bits - h) + (old_tag ? 0 : 1);
+    const bool flip = cost_flip < cost_plain;
+
+    // Direction-split the data flips of this segment.
+    usize p = pos;
+    usize remaining = seg_bits;
+    while (remaining > 0) {
+      const usize chunk = remaining < 64 ? remaining : 64;
+      const u64 o = old_bits.bits(p, chunk);
+      u64 n = new_bits.bits(p, chunk);
+      if (flip) n = ~n & low_mask(chunk);
+      fb.sets += popcount(~o & n);
+      fb.resets += popcount(o & ~n);
+      fb.data += popcount(o ^ n);
+      p += chunk;
+      remaining -= chunk;
+    }
+    if (flip != old_tag) {
+      ++fb.tag;
+      if (flip) {
+        ++fb.sets;
+      } else {
+        ++fb.resets;
+      }
+    }
+    if (flip) {
+      new_tags |= u64{1} << s;
+    } else {
+      new_tags &= ~(u64{1} << s);
+    }
+  }
+  state.tags = new_tags;
+
+  if (config_.redundant_word_aware) {
+    const u8 delta = static_cast<u8>(state.dirty_flag ^ dirty);
+    fb.flag += popcount(delta);
+    fb.sets += popcount(static_cast<u8>(delta & dirty));
+    fb.resets += popcount(static_cast<u8>(delta & state.dirty_flag));
+    state.dirty_flag = dirty;
+  }
+  if (config_.granularity_levels > 1) {
+    const u64 delta = static_cast<u64>(state.gran_flag) ^ best_f;
+    fb.flag += popcount(delta);
+    fb.sets += popcount(delta & best_f);
+    fb.resets += popcount(delta & state.gran_flag);
+    state.gran_flag = static_cast<u8>(best_f);
+  }
+  return fb;
+}
+
+}  // namespace nvmenc

@@ -1,0 +1,278 @@
+#include "core/read_sae.hpp"
+
+#include "common/error.hpp"
+
+namespace nvmenc {
+
+namespace {
+
+/// Concatenates the words of `line` selected by `mask` (ascending index)
+/// into one bit vector — the paper's "assign the tag bits to the dirty
+/// words" gather step.
+BitBuf gather_words(const CacheLine& line, u8 mask) {
+  BitBuf out;
+  for (usize w = 0; w < kWordsPerLine; ++w) {
+    if ((mask >> w) & 1) out.push_bits(line.word(w), kWordBits);
+  }
+  return out;
+}
+
+/// Inverse of gather_words: writes the vector back into the masked words.
+void scatter_words(CacheLine& line, u8 mask, const BitBuf& bits) {
+  usize pos = 0;
+  for (usize w = 0; w < kWordsPerLine; ++w) {
+    if ((mask >> w) & 1) {
+      line.set_word(w, bits.bits(pos, kWordBits));
+      pos += kWordBits;
+    }
+  }
+}
+
+}  // namespace
+
+void AdaptiveConfig::validate() const {
+  require(is_pow2(tag_budget) && tag_budget >= 2 && tag_budget <= 64,
+          "tag budget must be a power of two in [2, 64]");
+  require(granularity_levels >= 1 && granularity_levels <= 4,
+          "granularity levels must be 1..4");
+  require((tag_budget >> (granularity_levels - 1)) >= 1,
+          "coarsest level would have no tag bits");
+  require(!rotate_tags || tag_budget <= 32,
+          "the 5-bit rotation counter indexes at most 32 tag cells");
+}
+
+ReadSaeEncoder::ReadSaeEncoder(AdaptiveConfig config, std::string name)
+    : config_{config}, name_{std::move(name)} {
+  config_.validate();
+  if (name_.empty()) {
+    const bool sae = config_.granularity_levels > 1;
+    name_ = config_.redundant_word_aware ? (sae ? "READ+SAE" : "READ")
+                                         : (sae ? "SAE" : "FNW-pooled");
+  }
+}
+
+usize ReadSaeEncoder::meta_bits() const noexcept {
+  return config_.tag_budget +
+         (config_.redundant_word_aware ? kDirtyFlagBits : 0) +
+         (config_.granularity_levels > 1 ? kGranularityFlagBits : 0) +
+         (config_.rotate_tags ? kRotationBits : 0);
+}
+
+u8 ReadSaeEncoder::stored_dirty_mask(const StoredLine& stored) const {
+  if (!config_.redundant_word_aware) return 0xff;
+  return static_cast<u8>(
+      stored.meta.bits(dirty_flag_offset(), kDirtyFlagBits));
+}
+
+usize ReadSaeEncoder::stored_gran_flag(const StoredLine& stored) const {
+  if (config_.granularity_levels <= 1) return 0;
+  return static_cast<usize>(
+      stored.meta.bits(gran_flag_offset(), kGranularityFlagBits));
+}
+
+usize ReadSaeEncoder::stored_rotation(const StoredLine& stored) const {
+  if (!config_.rotate_tags) return 0;
+  // The counter is stored Gray-coded: one cell flip per advance instead of
+  // an always-toggling bit 0. Decode gray -> binary.
+  u64 gray = stored.meta.bits(rotation_offset(), kRotationBits);
+  u64 binary = 0;
+  for (u64 g = gray; g != 0; g >>= 1) binary ^= g;
+  return static_cast<usize>(binary);
+}
+
+/// Evaluates the segment-encoding cost of covering `mask`'s words with
+/// `tags` tag bits, against the current cells and tag state.
+usize ReadSaeEncoder::segment_cost(const StoredLine& stored,
+                                   const CacheLine& new_line, u8 mask,
+                                   usize tags, usize rotation) const {
+  const BitBuf new_bits = gather_words(new_line, mask);
+  const BitBuf old_cells = gather_words(stored.data, mask);
+  const usize total_bits = popcount(mask) * kWordBits;
+  const usize seg_bits = total_bits / tags;
+  usize cost = 0;
+  for (usize s = 0; s < tags; ++s) {
+    const usize pos = s * seg_bits;
+    const usize plain_h = old_cells.hamming_range(new_bits, pos, seg_bits);
+    const bool old_tag = stored.meta.bit(tag_cell(s, rotation));
+    const usize cost_plain = plain_h + (old_tag ? 1 : 0);
+    const usize cost_flip = (seg_bits - plain_h) + (old_tag ? 0 : 1);
+    cost += cost_plain < cost_flip ? cost_plain : cost_flip;
+  }
+  return cost;
+}
+
+/// Applies the chosen (mask, granularity) plan to the stored image.
+void ReadSaeEncoder::apply_plan(StoredLine& stored, const CacheLine& new_line,
+                                u8 mask, usize best_f,
+                                usize rotation) const {
+  const BitBuf new_bits = gather_words(new_line, mask);
+  const BitBuf old_cells = gather_words(stored.data, mask);
+  const usize total_bits = popcount(mask) * kWordBits;
+  const usize tags = config_.tag_budget >> best_f;
+  const usize seg_bits = total_bits / tags;
+  BitBuf encoded = new_bits;
+  for (usize s = 0; s < tags; ++s) {
+    const usize pos = s * seg_bits;
+    const usize plain_h = old_cells.hamming_range(new_bits, pos, seg_bits);
+    const bool old_tag = stored.meta.bit(tag_cell(s, rotation));
+    const usize cost_plain = plain_h + (old_tag ? 1 : 0);
+    const usize cost_flip = (seg_bits - plain_h) + (old_tag ? 0 : 1);
+    const bool flip = cost_flip < cost_plain;
+    if (flip) encoded.flip_range(pos, seg_bits);
+    stored.meta.set_bit(tag_cell(s, rotation), flip);
+  }
+  // Tag cells outside the used window keep their stored values (no
+  // gratuitous flips).
+  scatter_words(stored.data, mask, encoded);
+  if (config_.redundant_word_aware) {
+    stored.meta.set_bits(dirty_flag_offset(), kDirtyFlagBits, mask);
+  }
+  if (config_.granularity_levels > 1) {
+    stored.meta.set_bits(gran_flag_offset(), kGranularityFlagBits,
+                         static_cast<u64>(best_f));
+  }
+  if (config_.rotate_tags) {
+    const u64 gray =
+        static_cast<u64>(rotation) ^ (static_cast<u64>(rotation) >> 1);
+    stored.meta.set_bits(rotation_offset(), kRotationBits, gray);
+  }
+}
+
+void ReadSaeEncoder::encode_impl(StoredLine& stored,
+                                 const CacheLine& new_line) const {
+  const CacheLine old_logical = decode(stored);
+  const u8 old_dirty = stored_dirty_mask(stored);
+  const u8 changed = config_.redundant_word_aware
+                         ? new_line.dirty_mask(old_logical)
+                         : u8{0xff};
+
+  if (popcount(changed) == 0) {
+    // Silent write-back: the stored image already decodes to new_line.
+    return;
+  }
+
+  const usize old_gran = stored_gran_flag(stored);
+  const u8 old_flag = old_dirty;
+
+  // Words leaving the tag-covered set whose stored form is not plaintext.
+  // Two ways to deal with them (DESIGN.md §5): *normalize* them back to
+  // plaintext (paying the flips), or *re-tag* them — keep them inside the
+  // dirty flag so their flipped form stays decodable. Both are evaluated
+  // below and the cheaper plan wins; the paper does not model this cost at
+  // all.
+  u8 flipped_leftovers = 0;
+  usize normalization_flips = 0;
+  if (config_.redundant_word_aware) {
+    const u8 leaving = old_flag & static_cast<u8>(~changed);
+    for (usize w = 0; w < kWordsPerLine; ++w) {
+      if (!((leaving >> w) & 1)) continue;
+      const usize h =
+          hamming(stored.data.word(w), old_logical.word(w));
+      if (h != 0) {
+        flipped_leftovers |= static_cast<u8>(1u << w);
+        normalization_flips += h;
+      }
+    }
+  }
+  const u8 mask_retag = changed | flipped_leftovers;
+
+  struct Plan {
+    u8 mask = 0;
+    usize f = 0;
+    bool normalize = false;
+    usize cost = ~usize{0};
+  };
+  Plan best;
+
+  // Rotating assignment: advance the starting tag cell by one per write
+  // so long-run tag wear spreads across the whole budget.
+  const usize rotation =
+      config_.rotate_tags
+          ? (stored_rotation(stored) + 1) % (usize{1} << kRotationBits)
+          : 0;
+
+  auto consider = [&](u8 mask, bool normalize, usize extra) {
+    for (usize f = 0; f < config_.granularity_levels; ++f) {
+      const usize tags = config_.tag_budget >> f;
+      ensure((popcount(mask) * kWordBits) % tags == 0,
+             "tag count must divide the covered bits");
+      usize cost =
+          segment_cost(stored, new_line, mask, tags, rotation) + extra;
+      if (config_.granularity_levels > 1) {
+        cost += hamming(static_cast<u64>(old_gran), static_cast<u64>(f));
+      }
+      if (config_.redundant_word_aware) {
+        cost += hamming(static_cast<u64>(old_flag), static_cast<u64>(mask));
+      }
+      if (cost < best.cost) best = {mask, f, normalize, cost};
+    }
+  };
+
+  consider(changed, /*normalize=*/true, normalization_flips);
+  if (mask_retag != changed) {
+    consider(mask_retag, /*normalize=*/false, 0);
+  }
+
+  if (best.normalize && flipped_leftovers != 0) {
+    for (usize w = 0; w < kWordsPerLine; ++w) {
+      if ((flipped_leftovers >> w) & 1) {
+        stored.data.set_word(w, old_logical.word(w));
+      }
+    }
+  }
+  apply_plan(stored, new_line, best.mask, best.f, rotation);
+}
+
+CacheLine ReadSaeEncoder::decode(const StoredLine& stored) const {
+  const u8 dirty = stored_dirty_mask(stored);
+  const usize dirty_words = popcount(dirty);
+  CacheLine line = stored.data;
+  if (dirty_words == 0) return line;
+
+  const usize f = stored_gran_flag(stored);
+  const usize tags = config_.tag_budget >> f;
+  const usize total_bits = dirty_words * kWordBits;
+  const usize seg_bits = total_bits / tags;
+
+  const usize rotation = stored_rotation(stored);
+  BitBuf bits = gather_words(stored.data, dirty);
+  for (usize s = 0; s < tags; ++s) {
+    if (stored.meta.bit(tag_cell(s, rotation))) {
+      bits.flip_range(s * seg_bits, seg_bits);
+    }
+  }
+  scatter_words(line, dirty, bits);
+  return line;
+}
+
+EncoderPtr make_read(usize tag_budget) {
+  return std::make_unique<ReadSaeEncoder>(
+      AdaptiveConfig{.tag_budget = tag_budget,
+                     .redundant_word_aware = true,
+                     .granularity_levels = 1});
+}
+
+EncoderPtr make_read_sae(usize tag_budget) {
+  return std::make_unique<ReadSaeEncoder>(
+      AdaptiveConfig{.tag_budget = tag_budget,
+                     .redundant_word_aware = true,
+                     .granularity_levels = 4});
+}
+
+EncoderPtr make_sae_only(usize tag_budget) {
+  return std::make_unique<ReadSaeEncoder>(
+      AdaptiveConfig{.tag_budget = tag_budget,
+                     .redundant_word_aware = false,
+                     .granularity_levels = 4});
+}
+
+EncoderPtr make_read_sae_rotate(usize tag_budget) {
+  return std::make_unique<ReadSaeEncoder>(
+      AdaptiveConfig{.tag_budget = tag_budget,
+                     .redundant_word_aware = true,
+                     .granularity_levels = 4,
+                     .rotate_tags = true},
+      "READ+SAE-R");
+}
+
+}  // namespace nvmenc

@@ -1,0 +1,52 @@
+// AFNW [Palangappa & Mohanram, GLSVLSI'15]: Adaptive Flip-N-Write.
+//
+// Each 64-bit word is first compressed (word-level FPC); the four tag bits
+// the word owns are then spread over the *compressed* payload, giving a
+// finer effective granularity for compressible words. The payload occupies
+// the low bits of the word's fixed 64-cell slot; the remaining cells
+// retain their previous values. Per word the metadata is a 3-bit FPC
+// pattern prefix (auxiliary flag) plus 4 tag bits.
+//
+// Reproduction note: the paper's evaluation (Section 4.2.1) finds AFNW
+// *worse* than plain FNW — "compression results in more bit flips than
+// DCW" — which only happens when each write's cost is charged against the
+// PLAIN old line (the plaintext-resident accounting of
+// core/paper_model.hpp; see PaperModelAfnw). This class is the
+// hardware-faithful stateful encoder: the compressed image persists in
+// the cells and steady-state writes compare compressed-to-compressed,
+// which measures markedly better than the paper's near-DCW result
+// (EXPERIMENTS.md quantifies both accountings).
+#pragma once
+
+#include "encoding/encoder.hpp"
+
+namespace nvmenc {
+
+class AfnwEncoder final : public Encoder {
+ public:
+  static constexpr usize kPatternBits = 3;
+  static constexpr usize kTagsPerWord = 4;
+  static constexpr usize kMetaPerWord = kPatternBits + kTagsPerWord;
+
+  [[nodiscard]] const std::string& name() const noexcept override {
+    return name_;
+  }
+  /// 8 words x (3 pattern + 4 tag) = 56 bits.
+  [[nodiscard]] usize meta_bits() const noexcept override {
+    return kWordsPerLine * kMetaPerWord;
+  }
+  [[nodiscard]] bool is_tag_bit(usize i) const noexcept override {
+    return (i % kMetaPerWord) >= kPatternBits;
+  }
+  [[nodiscard]] StoredLine make_stored(const CacheLine& line) const override;
+  [[nodiscard]] CacheLine decode(const StoredLine& stored) const override;
+
+ protected:
+  void encode_impl(StoredLine& stored,
+                   const CacheLine& new_line) const override;
+
+ private:
+  std::string name_ = "AFNW";
+};
+
+}  // namespace nvmenc

@@ -1,0 +1,85 @@
+#include "encoding/cafo.hpp"
+
+namespace nvmenc {
+
+void CafoEncoder::encode_impl(StoredLine& stored,
+                              const CacheLine& new_line) const {
+  // error[r] bit j == 1 iff writing logical bit (r, j) unmodified would
+  // flip the stored cell: stored ^ new.
+  std::array<u64, kRows> error{};
+  for (usize r = 0; r < kRows; ++r) {
+    error[r] = row(stored.data, r) ^ row(new_line, r);
+  }
+
+  const u64 old_row_tags = stored.meta.bits(0, kRows);
+  const u64 old_col_tags = stored.meta.bits(kRows, kCols);
+
+  // Greedy alternating optimization, seeded with the stored tags so that a
+  // silent rewrite converges immediately at zero cost.
+  u64 row_tags = old_row_tags;
+  u64 col_tags = old_col_tags;
+  // Each pass that changes anything strictly lowers the integer cost
+  // (bounded by 512 + 48), so the loop always exits via `!changed` well
+  // inside the bound.
+  for (int pass = 0; pass < 1024; ++pass) {
+    bool changed = false;
+
+    // Optimal row tags given the column tags.
+    for (usize r = 0; r < kRows; ++r) {
+      const usize ones = popcount((error[r] ^ col_tags) & low_mask(kCols));
+      const bool old_tag = (old_row_tags >> r) & 1;
+      const bool cur = (row_tags >> r) & 1;
+      const usize cost0 = ones + (old_tag ? 1 : 0);
+      const usize cost1 = (kCols - ones) + (old_tag ? 0 : 1);
+      // Ties keep the current value: every change strictly lowers the cost,
+      // which guarantees termination of the alternating passes.
+      const bool best = cost1 < cost0 || (cost1 == cost0 && cur);
+      if (best != cur) {
+        row_tags ^= u64{1} << r;
+        changed = true;
+      }
+    }
+
+    // Optimal column tags given the row tags.
+    for (usize c = 0; c < kCols; ++c) {
+      usize ones = 0;
+      for (usize r = 0; r < kRows; ++r) {
+        ones += ((error[r] >> c) ^ (row_tags >> r)) & 1;
+      }
+      const bool old_tag = (old_col_tags >> c) & 1;
+      const bool cur = (col_tags >> c) & 1;
+      const usize cost0 = ones + (old_tag ? 1 : 0);
+      const usize cost1 = (kRows - ones) + (old_tag ? 0 : 1);
+      const bool best = cost1 < cost0 || (cost1 == cost0 && cur);
+      if (best != cur) {
+        col_tags ^= u64{1} << c;
+        changed = true;
+      }
+    }
+
+    if (!changed) break;
+  }
+
+  // Materialize: stored(r, j) = logical(r, j) ^ row_tag[r] ^ col_tag[j].
+  for (usize r = 0; r < kRows; ++r) {
+    const u64 flip = ((row_tags >> r) & 1 ? low_mask(kCols) : 0) ^ col_tags;
+    deposit_bits(stored.data.words(), r * kCols, kCols,
+                 row(new_line, r) ^ flip);
+  }
+  stored.meta.set_bits(0, kRows, row_tags);
+  stored.meta.set_bits(kRows, kCols, col_tags);
+}
+
+CacheLine CafoEncoder::decode(const StoredLine& stored) const {
+  const u64 row_tags = stored.meta.bits(0, kRows);
+  const u64 col_tags = stored.meta.bits(kRows, kCols);
+  CacheLine line;
+  for (usize r = 0; r < kRows; ++r) {
+    const u64 flip = ((row_tags >> r) & 1 ? low_mask(kCols) : 0) ^ col_tags;
+    deposit_bits(line.words(), r * kCols, kCols,
+                 row(stored.data, r) ^ flip);
+  }
+  return line;
+}
+
+}  // namespace nvmenc

@@ -1,0 +1,49 @@
+// CAFO [Maddah et al., HPCA'15]: cost-aware flip optimization.
+//
+// The 512-bit line is viewed as a 32x16 matrix (paper Section 4.1). Every
+// row and every column carries one flip tag; a stored bit is the logical
+// bit XOR its row tag XOR its column tag. Choosing the 48 tags is a
+// 2-coloring optimization; CAFO solves it by alternating greedy passes —
+// fix the columns and choose each row's best tag, then fix the rows and
+// choose each column's best tag — until a fixpoint. Tag-bit flips against
+// the previously stored tags are part of the cost, exactly like the data
+// cells.
+#pragma once
+
+#include <array>
+
+#include "encoding/encoder.hpp"
+
+namespace nvmenc {
+
+class CafoEncoder final : public Encoder {
+ public:
+  static constexpr usize kRows = 32;
+  static constexpr usize kCols = 16;
+
+  [[nodiscard]] const std::string& name() const noexcept override {
+    return name_;
+  }
+  /// 32 row tags + 16 column tags = 48 bits (9.4% overhead).
+  [[nodiscard]] usize meta_bits() const noexcept override {
+    return kRows + kCols;
+  }
+  [[nodiscard]] bool is_tag_bit(usize) const noexcept override {
+    return true;
+  }
+  [[nodiscard]] CacheLine decode(const StoredLine& stored) const override;
+
+ protected:
+  void encode_impl(StoredLine& stored,
+                   const CacheLine& new_line) const override;
+
+ private:
+  /// Row r of a line: bits [r*16, r*16+16).
+  [[nodiscard]] static u64 row(const CacheLine& line, usize r) noexcept {
+    return extract_bits(line.words(), r * kCols, kCols);
+  }
+
+  std::string name_ = "CAFO";
+};
+
+}  // namespace nvmenc

@@ -1,0 +1,114 @@
+#include "encoding/coef.hpp"
+
+#include "compress/fpc.hpp"
+
+namespace nvmenc {
+
+namespace {
+
+constexpr usize kTagOffset = 60;  // tag bits at the top of the slot
+
+/// Length of FNW segment k (0..3) over an L-bit payload.
+constexpr usize segment_len(usize payload_bits, usize k) noexcept {
+  return payload_bits / CoefEncoder::kTagsPerWord +
+         (k < payload_bits % CoefEncoder::kTagsPerWord ? 1 : 0);
+}
+
+}  // namespace
+
+bool CoefEncoder::word_compressible(u64 value) {
+  return fpc_compress_word(value).payload_bits <= kMaxPayloadBits;
+}
+
+StoredLine CoefEncoder::make_stored(const CacheLine& line) const {
+  StoredLine stored;
+  stored.meta = BitBuf{meta_bits()};
+  for (usize w = 0; w < kWordsPerLine; ++w) {
+    const FpcWord cw = fpc_compress_word(line.word(w));
+    if (cw.payload_bits > kMaxPayloadBits) {
+      stored.data.set_word(w, line.word(w));  // raw slot, flag stays 0
+      continue;
+    }
+    u64 slot = 0;
+    deposit_bits({&slot, 1}, 0, kPatternBits, cw.pattern);
+    if (cw.payload_bits > 0) {
+      deposit_bits({&slot, 1}, kPatternBits, cw.payload_bits, cw.payload);
+    }
+    stored.data.set_word(w, slot);  // tags zero: payload unflipped
+    stored.meta.set_bit(w, true);
+  }
+  return stored;
+}
+
+void CoefEncoder::encode_impl(StoredLine& stored,
+                              const CacheLine& new_line) const {
+  for (usize w = 0; w < kWordsPerLine; ++w) {
+    const FpcWord cw = fpc_compress_word(new_line.word(w));
+    const u64 old_slot = stored.data.word(w);
+
+    if (cw.payload_bits > kMaxPayloadBits) {
+      stored.data.set_word(w, new_line.word(w));  // raw: plain DCW
+      stored.meta.set_bit(w, false);
+      continue;
+    }
+
+    const u64 old_tags =
+        extract_bits({&old_slot, 1}, kTagOffset, kTagsPerWord);
+    u64 slot = old_slot;  // cells between payload and tags retained
+    deposit_bits({&slot, 1}, 0, kPatternBits, cw.pattern);
+    u64 new_tags = old_tags;
+    usize pos = 0;
+    for (usize k = 0; k < kTagsPerWord; ++k) {
+      const usize len = segment_len(cw.payload_bits, k);
+      if (len == 0) continue;  // unused tag keeps its stored value
+      const u64 old_seg =
+          extract_bits({&old_slot, 1}, kPatternBits + pos, len);
+      const u64 data_seg = (cw.payload >> pos) & low_mask(len);
+      const bool old_tag = (old_tags >> k) & 1;
+      const usize cost_plain = hamming(old_seg, data_seg) + (old_tag ? 1 : 0);
+      const usize cost_flip =
+          hamming(old_seg, ~data_seg & low_mask(len)) + (old_tag ? 0 : 1);
+      const bool flip = cost_flip < cost_plain;
+      deposit_bits({&slot, 1}, kPatternBits + pos, len,
+                   flip ? (~data_seg & low_mask(len)) : data_seg);
+      if (flip) {
+        new_tags |= u64{1} << k;
+      } else {
+        new_tags &= ~(u64{1} << k);
+      }
+      pos += len;
+    }
+    deposit_bits({&slot, 1}, kTagOffset, kTagsPerWord, new_tags);
+    stored.data.set_word(w, slot);
+    stored.meta.set_bit(w, true);
+  }
+}
+
+CacheLine CoefEncoder::decode(const StoredLine& stored) const {
+  CacheLine line;
+  for (usize w = 0; w < kWordsPerLine; ++w) {
+    const u64 slot = stored.data.word(w);
+    if (!stored.meta.bit(w)) {
+      line.set_word(w, slot);  // raw slot
+      continue;
+    }
+    const u8 pattern =
+        static_cast<u8>(extract_bits({&slot, 1}, 0, kPatternBits));
+    const u64 tags = extract_bits({&slot, 1}, kTagOffset, kTagsPerWord);
+    const usize payload_bits = fpc_payload_bits(pattern);
+    u64 payload = 0;
+    usize pos = 0;
+    for (usize k = 0; k < kTagsPerWord; ++k) {
+      const usize len = segment_len(payload_bits, k);
+      if (len == 0) continue;
+      u64 seg = extract_bits({&slot, 1}, kPatternBits + pos, len);
+      if ((tags >> k) & 1) seg = ~seg & low_mask(len);
+      payload |= seg << pos;
+      pos += len;
+    }
+    line.set_word(w, fpc_decompress_word(pattern, payload));
+  }
+  return line;
+}
+
+}  // namespace nvmenc

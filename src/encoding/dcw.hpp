@@ -1,0 +1,34 @@
+// Data-Comparison Write [Yang et al., ISCAS'07]: the baseline every scheme
+// in the paper is normalized against. The old line is read, and only the
+// bits that actually change are written. Stored form = logical form; no
+// metadata.
+#pragma once
+
+#include "encoding/encoder.hpp"
+
+namespace nvmenc {
+
+class DcwEncoder final : public Encoder {
+ public:
+  [[nodiscard]] const std::string& name() const noexcept override {
+    return name_;
+  }
+  [[nodiscard]] usize meta_bits() const noexcept override { return 0; }
+  [[nodiscard]] bool is_tag_bit(usize) const noexcept override {
+    return false;
+  }
+  [[nodiscard]] CacheLine decode(const StoredLine& stored) const override {
+    return stored.data;
+  }
+
+ protected:
+  void encode_impl(StoredLine& stored,
+                   const CacheLine& new_line) const override {
+    stored.data = new_line;
+  }
+
+ private:
+  std::string name_ = "DCW";
+};
+
+}  // namespace nvmenc

@@ -1,0 +1,83 @@
+#include "encoding/deuce.hpp"
+
+#include "common/rng.hpp"
+
+namespace nvmenc {
+
+namespace {
+constexpr usize kLctrOffset = 0;
+constexpr usize kTctrOffset = DeuceEncoder::kCounterBits;
+constexpr usize kBitmapOffset = 2 * DeuceEncoder::kCounterBits;
+}  // namespace
+
+DeuceEncoder::DeuceEncoder(bool full_reencrypt_every_write, u64 key)
+    : naive_{full_reencrypt_every_write},
+      key_{key},
+      name_{full_reencrypt_every_write ? "CTR-naive" : "DEUCE"} {}
+
+u64 DeuceEncoder::keystream(usize w, u64 ctr) const {
+  SplitMix64 sm{key_ ^ (ctr * 0x9e3779b97f4a7c15ull) ^
+                (static_cast<u64>(w) << 56)};
+  return sm.next();
+}
+
+StoredLine DeuceEncoder::make_stored(const CacheLine& line) const {
+  StoredLine stored;
+  stored.meta = BitBuf{meta_bits()};
+  // Epoch 0, no modified words: everything ciphered under TCTR = 0.
+  for (usize w = 0; w < kWordsPerLine; ++w) {
+    stored.data.set_word(w, line.word(w) ^ keystream(w, 0));
+  }
+  return stored;
+}
+
+CacheLine DeuceEncoder::decode(const StoredLine& stored) const {
+  const u64 lctr = stored.meta.bits(kLctrOffset, kCounterBits);
+  const u64 tctr = stored.meta.bits(kTctrOffset, kCounterBits);
+  const u64 bitmap = stored.meta.bits(kBitmapOffset, kWordsPerLine);
+  CacheLine line;
+  for (usize w = 0; w < kWordsPerLine; ++w) {
+    const u64 ctr = ((bitmap >> w) & 1) ? lctr : tctr;
+    line.set_word(w, stored.data.word(w) ^ keystream(w, ctr));
+  }
+  return line;
+}
+
+void DeuceEncoder::encode_impl(StoredLine& stored,
+                               const CacheLine& new_line) const {
+  const CacheLine old_logical = decode(stored);
+  const u64 old_lctr = stored.meta.bits(kLctrOffset, kCounterBits);
+  const u64 old_bitmap = stored.meta.bits(kBitmapOffset, kWordsPerLine);
+  const u8 modified = new_line.dirty_mask(old_logical);
+
+  if (modified == 0 && !naive_) return;  // silent write-back
+
+  const u64 lctr = (old_lctr + 1) & low_mask(kCounterBits);
+  const bool full = naive_ || (lctr % kEpoch == 0);
+
+  if (full) {
+    // Whole-line re-encryption under the new counter: every word re-keys.
+    for (usize w = 0; w < kWordsPerLine; ++w) {
+      stored.data.set_word(w, new_line.word(w) ^ keystream(w, lctr));
+    }
+    stored.meta.set_bits(kLctrOffset, kCounterBits, lctr);
+    stored.meta.set_bits(kTctrOffset, kCounterBits, lctr);
+    stored.meta.set_bits(kBitmapOffset, kWordsPerLine, 0);
+    return;
+  }
+
+  // Partial: only this write's modified words move to the leading counter;
+  // words already on the (old) leading counter must follow it, since LCTR
+  // advanced.
+  const u64 bitmap = old_bitmap | modified;
+  for (usize w = 0; w < kWordsPerLine; ++w) {
+    if ((bitmap >> w) & 1) {
+      stored.data.set_word(w, new_line.word(w) ^ keystream(w, lctr));
+    }
+    // Words still under TCTR keep their ciphertext byte-for-byte.
+  }
+  stored.meta.set_bits(kLctrOffset, kCounterBits, lctr);
+  stored.meta.set_bits(kBitmapOffset, kWordsPerLine, bitmap);
+}
+
+}  // namespace nvmenc

@@ -1,0 +1,47 @@
+#include "encoding/encoder.hpp"
+
+#include "common/error.hpp"
+
+namespace nvmenc {
+
+StoredLine Encoder::make_stored(const CacheLine& line) const {
+  StoredLine stored;
+  stored.data = line;
+  stored.meta = BitBuf{meta_bits()};
+  return stored;
+}
+
+FlipBreakdown Encoder::encode(StoredLine& stored,
+                              const CacheLine& new_line) const {
+  require(stored.meta.size() == meta_bits(),
+          "stored image does not belong to this encoder");
+  const StoredLine before = stored;
+  encode_impl(stored, new_line);
+  ensure(stored.meta.size() == meta_bits(),
+         "encoder changed its metadata width");
+
+  FlipBreakdown fb;
+  fb.data = before.data.hamming(stored.data);
+  for (usize w = 0; w < kWordsPerLine; ++w) {
+    fb.sets += popcount(~before.data.word(w) & stored.data.word(w));
+    fb.resets += popcount(before.data.word(w) & ~stored.data.word(w));
+  }
+  for (usize i = 0; i < meta_bits(); ++i) {
+    const bool was = before.meta.bit(i);
+    const bool now = stored.meta.bit(i);
+    if (was == now) continue;
+    if (is_tag_bit(i)) {
+      ++fb.tag;
+    } else {
+      ++fb.flag;
+    }
+    if (now) {
+      ++fb.sets;
+    } else {
+      ++fb.resets;
+    }
+  }
+  return fb;
+}
+
+}  // namespace nvmenc

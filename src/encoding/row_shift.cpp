@@ -1,0 +1,111 @@
+#include "encoding/row_shift.hpp"
+
+#include "common/error.hpp"
+
+namespace nvmenc {
+
+RowShiftEncoder::RowShiftEncoder(EncoderPtr inner, usize shift_unit_bits,
+                                 usize shift_interval)
+    : inner_{std::move(inner)},
+      unit_{shift_unit_bits},
+      interval_{shift_interval} {
+  require(inner_ != nullptr, "row shift needs an inner encoder");
+  require(unit_ >= 1 && kLineBits % unit_ == 0,
+          "shift unit must divide 512");
+  require(is_pow2(kLineBits / unit_),
+          "shift positions must be a power of two (counter wraps)");
+  require(interval_ >= 1, "shift interval must be positive");
+  name_ = inner_->name() + "+shift" + std::to_string(unit_);
+}
+
+usize RowShiftEncoder::counter_bits() const noexcept {
+  // Offset cycles over `positions()`; the write sub-counter needs
+  // log2(interval) more bits, rounded up.
+  usize interval_bits = 0;
+  while ((usize{1} << interval_bits) < interval_) ++interval_bits;
+  usize position_bits = 0;
+  while ((usize{1} << position_bits) < positions()) ++position_bits;
+  return interval_bits + position_bits;
+}
+
+usize RowShiftEncoder::meta_bits() const noexcept {
+  return inner_->meta_bits() + counter_bits();
+}
+
+u64 RowShiftEncoder::stored_counter(const StoredLine& stored) const {
+  const u64 gray =
+      stored.meta.bits(inner_->meta_bits(), counter_bits());
+  u64 binary = 0;
+  for (u64 g = gray; g != 0; g >>= 1) binary ^= g;
+  return binary;
+}
+
+void RowShiftEncoder::store_counter(StoredLine& stored, u64 counter) const {
+  const u64 gray = counter ^ (counter >> 1);
+  stored.meta.set_bits(inner_->meta_bits(), counter_bits(), gray);
+}
+
+CacheLine RowShiftEncoder::rotate(const CacheLine& line, usize bits) {
+  if (bits % kLineBits == 0) return line;
+  // Straightforward per-bit rotation: clarity over speed (shift events
+  // are rare — every `interval` writes).
+  CacheLine out;
+  for (usize b = 0; b < kLineBits; ++b) {
+    out.set_bit((b + bits) % kLineBits, line.bit(b));
+  }
+  return out;
+}
+
+StoredLine RowShiftEncoder::make_stored(const CacheLine& line) const {
+  const StoredLine inner_stored = inner_->make_stored(line);
+  StoredLine stored;
+  stored.data = inner_stored.data;  // counter 0: no rotation
+  stored.meta = BitBuf{meta_bits()};
+  for (usize i = 0; i < inner_stored.meta.size(); ++i) {
+    stored.meta.set_bit(i, inner_stored.meta.bit(i));
+  }
+  return stored;
+}
+
+CacheLine RowShiftEncoder::decode(const StoredLine& stored) const {
+  const u64 counter = stored_counter(stored);
+  const usize offset =
+      static_cast<usize>(counter / interval_) % positions();
+  StoredLine inner_stored;
+  inner_stored.data =
+      rotate(stored.data, kLineBits - (offset * unit_) % kLineBits);
+  inner_stored.meta = BitBuf{inner_->meta_bits()};
+  for (usize i = 0; i < inner_->meta_bits(); ++i) {
+    inner_stored.meta.set_bit(i, stored.meta.bit(i));
+  }
+  return inner_->decode(inner_stored);
+}
+
+void RowShiftEncoder::encode_impl(StoredLine& stored,
+                                  const CacheLine& new_line) const {
+  const u64 old_counter = stored_counter(stored);
+  const usize old_offset =
+      static_cast<usize>(old_counter / interval_) % positions();
+
+  // Recover the inner image, advance the write counter, re-encode.
+  StoredLine inner_stored;
+  inner_stored.data = rotate(stored.data,
+                             kLineBits - (old_offset * unit_) % kLineBits);
+  inner_stored.meta = BitBuf{inner_->meta_bits()};
+  for (usize i = 0; i < inner_->meta_bits(); ++i) {
+    inner_stored.meta.set_bit(i, stored.meta.bit(i));
+  }
+  (void)inner_->encode(inner_stored, new_line);
+
+  const u64 counter =
+      (old_counter + 1) & low_mask(counter_bits());
+  const usize offset = static_cast<usize>(counter / interval_) % positions();
+
+  stored.data = rotate(inner_stored.data, (offset * unit_) % kLineBits);
+  for (usize i = 0; i < inner_->meta_bits(); ++i) {
+    stored.meta.set_bit(i, inner_stored.meta.bit(i));
+  }
+  store_counter(stored, counter);
+}
+
+}  // namespace nvmenc

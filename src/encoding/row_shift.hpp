@@ -1,0 +1,57 @@
+// Row shifting [Zhou et al., ISCA'09 — the paper's citation 26].
+//
+// The second of Zhou's "durable and energy efficient main memory"
+// techniques: periodically rotate a line's stored bits by one shift unit
+// so that hot logical bit positions (e.g. the low bits of counters) visit
+// every physical cell over time. Implemented as a wrapper over any inner
+// encoder: cells = rotate(inner_stored_image, offset * unit), with the
+// offset advanced every `shift_interval` writes and kept in a Gray-coded
+// per-line counter.
+//
+// Complements the tag-focused READ+SAE-R rotation: row shifting levels
+// *data* cells, metadata rotation levels *tag* cells; the two compose.
+#pragma once
+
+#include "encoding/encoder.hpp"
+
+namespace nvmenc {
+
+class RowShiftEncoder final : public Encoder {
+ public:
+  /// `shift_unit_bits` must divide 512; the offset counter is wide enough
+  /// to cycle through all 512/shift_unit_bits positions.
+  RowShiftEncoder(EncoderPtr inner, usize shift_unit_bits = 8,
+                  usize shift_interval = 16);
+
+  [[nodiscard]] const std::string& name() const noexcept override {
+    return name_;
+  }
+  [[nodiscard]] usize meta_bits() const noexcept override;
+  [[nodiscard]] bool is_tag_bit(usize i) const noexcept override {
+    return i < inner_->meta_bits() ? inner_->is_tag_bit(i) : false;
+  }
+  [[nodiscard]] StoredLine make_stored(const CacheLine& line) const override;
+  [[nodiscard]] CacheLine decode(const StoredLine& stored) const override;
+
+  [[nodiscard]] usize positions() const noexcept {
+    return kLineBits / unit_;
+  }
+
+ protected:
+  void encode_impl(StoredLine& stored,
+                   const CacheLine& new_line) const override;
+
+ private:
+  [[nodiscard]] usize counter_bits() const noexcept;
+  [[nodiscard]] u64 stored_counter(const StoredLine& stored) const;
+  void store_counter(StoredLine& stored, u64 counter) const;
+  /// Rotates the 512 data bits left by `offset` shift units.
+  [[nodiscard]] static CacheLine rotate(const CacheLine& line, usize bits);
+
+  EncoderPtr inner_;
+  usize unit_;
+  usize interval_;
+  std::string name_;
+};
+
+}  // namespace nvmenc

@@ -1,0 +1,75 @@
+#include "encoding/stacked.hpp"
+
+#include "common/error.hpp"
+
+namespace nvmenc {
+
+StackedEncoder::StackedEncoder(EncoderPtr inner, usize granularity)
+    : inner_{std::move(inner)}, granularity_{granularity} {
+  require(inner_ != nullptr, "stack needs an inner encoder");
+  require(granularity_ >= 2 && granularity_ <= 64 &&
+              kLineBits % granularity_ == 0,
+          "outer granularity must divide 512 and be 2..64");
+  name_ = inner_->name() + "+FNW" + std::to_string(granularity_);
+}
+
+StoredLine StackedEncoder::inner_view(const StoredLine& stored) const {
+  StoredLine view;
+  // Un-apply the outer FNW to recover the inner stored image.
+  view.data = stored.data;
+  const usize inner_meta = inner_->meta_bits();
+  for (usize b = 0; b < blocks(); ++b) {
+    if (stored.meta.bit(inner_meta + b)) {
+      flip_range(view.data.words(), b * granularity_, granularity_);
+    }
+  }
+  view.meta = BitBuf{inner_meta};
+  for (usize i = 0; i < inner_meta; ++i) {
+    view.meta.set_bit(i, stored.meta.bit(i));
+  }
+  return view;
+}
+
+StoredLine StackedEncoder::make_stored(const CacheLine& line) const {
+  const StoredLine inner_stored = inner_->make_stored(line);
+  StoredLine stored;
+  stored.data = inner_stored.data;  // outer tags all zero: no flips applied
+  stored.meta = BitBuf{meta_bits()};
+  for (usize i = 0; i < inner_stored.meta.size(); ++i) {
+    stored.meta.set_bit(i, inner_stored.meta.bit(i));
+  }
+  return stored;
+}
+
+CacheLine StackedEncoder::decode(const StoredLine& stored) const {
+  return inner_->decode(inner_view(stored));
+}
+
+void StackedEncoder::encode_impl(StoredLine& stored,
+                                 const CacheLine& new_line) const {
+  // 1. Let the inner encoder produce its new stored image.
+  StoredLine inner_stored = inner_view(stored);
+  (void)inner_->encode(inner_stored, new_line);
+
+  // 2. FNW the inner image onto the physical cells.
+  const usize inner_meta = inner_->meta_bits();
+  for (usize b = 0; b < blocks(); ++b) {
+    const usize pos = b * granularity_;
+    const u64 cells = extract_bits(stored.data.words(), pos, granularity_);
+    const u64 target =
+        extract_bits(inner_stored.data.words(), pos, granularity_);
+    const bool old_tag = stored.meta.bit(inner_meta + b);
+    const usize cost_plain = hamming(cells, target) + (old_tag ? 1 : 0);
+    const usize cost_flip =
+        hamming(cells, ~target & low_mask(granularity_)) + (old_tag ? 0 : 1);
+    const bool flip = cost_flip < cost_plain;
+    deposit_bits(stored.data.words(), pos, granularity_,
+                 flip ? (~target & low_mask(granularity_)) : target);
+    stored.meta.set_bit(inner_meta + b, flip);
+  }
+  for (usize i = 0; i < inner_meta; ++i) {
+    stored.meta.set_bit(i, inner_stored.meta.bit(i));
+  }
+}
+
+}  // namespace nvmenc

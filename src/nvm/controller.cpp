@@ -1,0 +1,46 @@
+#include "nvm/controller.hpp"
+
+#include "common/error.hpp"
+#include "wear/wear_leveler.hpp"
+
+namespace nvmenc {
+
+MemoryController::MemoryController(ControllerConfig config, EncoderPtr encoder,
+                                   NvmDevice& device,
+                                   WearLeveler* wear_leveler)
+    : config_{config},
+      encoder_{std::move(encoder)},
+      device_{&device},
+      wear_leveler_{wear_leveler} {
+  require(encoder_ != nullptr, "controller needs an encoder");
+}
+
+CacheLine MemoryController::read_line(u64 line_addr) {
+  const StoredLine& stored = device_->load(line_addr);
+  const CacheLine line = encoder_->decode(stored);
+  ++stats_.demand_reads;
+  stats_.energy.add_read(config_.energy,
+                         kLineBits);
+  return line;
+}
+
+void MemoryController::write_line(u64 line_addr, const CacheLine& data) {
+  StoredLine stored = device_->load(line_addr);  // read-before-write copy
+  const CacheLine old_logical = encoder_->decode(stored);
+  const usize dirty_words = popcount(data.dirty_mask(old_logical));
+
+  const FlipBreakdown fb = encoder_->encode(stored, data);
+  device_->store(line_addr, stored, fb.total());
+  if (wear_leveler_ != nullptr) wear_leveler_->on_write(line_addr, fb.total());
+
+  ++stats_.writebacks;
+  if (dirty_words == 0) ++stats_.silent_writebacks;
+  stats_.dirty_words.add(dirty_words);
+  stats_.flips += fb;
+  // Silent write-backs bypass the encoder pipeline (no dirty words to
+  // encode), so its logic energy is only charged on real encodes.
+  stats_.energy.add_write(config_.energy, kLineBits, fb.sets, fb.resets,
+                          config_.charge_encode_logic && dirty_words > 0);
+}
+
+}  // namespace nvmenc

@@ -1,0 +1,75 @@
+// MemoryController: the encoding front-end of the NVM main memory.
+//
+// Sits between the cache hierarchy (LineBackend interface) and the
+// NvmDevice. Every dirty-line write-back is read-before-write (DCW),
+// passed through the configured Encoder, and stored differentially; every
+// demand fetch is decoded. The controller keeps the statistics the paper's
+// evaluation reports: flip breakdowns (Figures 9/11), the energy ledger
+// (Figure 10), and the dirty-word histogram / tag-utilization numbers
+// (Figure 2).
+#pragma once
+
+#include <memory>
+
+#include "cache/hierarchy.hpp"
+#include "common/stats.hpp"
+#include "encoding/encoder.hpp"
+#include "nvm/device.hpp"
+#include "nvm/energy_model.hpp"
+
+namespace nvmenc {
+
+class WearLeveler;  // src/wear — observes (line, flips) write events
+
+struct ControllerConfig {
+  EnergyParams energy;
+  /// Charge the encoder-logic energy/latency per write. The paper accounts
+  /// it for READ and READ+SAE only (Section 4.2.2).
+  bool charge_encode_logic = false;
+};
+
+struct ControllerStats {
+  u64 demand_reads = 0;
+  u64 writebacks = 0;
+  u64 silent_writebacks = 0;  ///< write-backs with zero modified words
+  FlipBreakdown flips;
+  Histogram dirty_words{kWordsPerLine};  ///< modified words per write-back
+  EnergyLedger energy;
+
+  /// Figure 2's utilization metric: the fraction of per-word tag bits a
+  /// conventional encoder would actually use = E[dirty words] / 8.
+  [[nodiscard]] double tag_utilization() const {
+    return dirty_words.total() == 0
+               ? 0.0
+               : dirty_words.mean() / static_cast<double>(kWordsPerLine);
+  }
+};
+
+class MemoryController final : public LineBackend {
+ public:
+  /// The controller owns the encoder; the device must outlive the
+  /// controller. `wear_leveler` may be null.
+  MemoryController(ControllerConfig config, EncoderPtr encoder,
+                   NvmDevice& device, WearLeveler* wear_leveler = nullptr);
+
+  [[nodiscard]] CacheLine read_line(u64 line_addr) override;
+  void write_line(u64 line_addr, const CacheLine& data) override;
+
+  [[nodiscard]] const ControllerStats& stats() const noexcept {
+    return stats_;
+  }
+  /// Clears the statistics (e.g. after a warm-up window); stored state and
+  /// device wear are unaffected.
+  void reset_stats() { stats_ = ControllerStats{}; }
+  [[nodiscard]] const Encoder& encoder() const noexcept { return *encoder_; }
+  [[nodiscard]] NvmDevice& device() noexcept { return *device_; }
+
+ private:
+  ControllerConfig config_;
+  EncoderPtr encoder_;
+  NvmDevice* device_;
+  WearLeveler* wear_leveler_;
+  ControllerStats stats_;
+};
+
+}  // namespace nvmenc

@@ -1,0 +1,108 @@
+#include "nvm/device.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace nvmenc {
+
+NvmDevice::NvmDevice(NvmDeviceConfig config, Initializer initializer)
+    : config_{config}, initializer_{std::move(initializer)} {
+  require(static_cast<bool>(initializer_), "device needs an initializer");
+}
+
+bool NvmDevice::sampled(u64 line_addr) const noexcept {
+  return config_.bit_wear_sample != 0 &&
+         (line_addr / kLineBytes) % config_.bit_wear_sample == 0;
+}
+
+NvmDevice::LineState& NvmDevice::state(u64 line_addr) {
+  auto it = lines_.find(line_addr);
+  if (it == lines_.end()) {
+    LineState fresh;
+    fresh.image = initializer_(line_addr);
+    if (sampled(line_addr)) {
+      fresh.bit_wear.assign(kLineBits + fresh.image.meta.size(), 0);
+    }
+    it = lines_.emplace(line_addr, std::move(fresh)).first;
+  }
+  return it->second;
+}
+
+const StoredLine& NvmDevice::load(u64 line_addr) {
+  return state(line_addr).image;
+}
+
+void NvmDevice::store(u64 line_addr, const StoredLine& image, usize flips) {
+  LineState& st = state(line_addr);
+
+  // Cells that were already stuck before this write drop the update; a
+  // write that *reaches* the endurance limit still completes (the cell
+  // endures N flips, then fails).
+  const std::vector<usize> stuck_before = st.stuck_bits;
+
+  if (!st.bit_wear.empty()) {
+    // Walk the changed data bits for per-bit wear and endurance.
+    for (usize w = 0; w < kWordsPerLine; ++w) {
+      u64 diff = st.image.data.word(w) ^ image.data.word(w);
+      while (diff != 0) {
+        const usize bit = w * 64 + static_cast<usize>(std::countr_zero(diff));
+        diff &= diff - 1;
+        ++st.bit_wear[bit];
+        if (config_.endurance != 0 &&
+            st.bit_wear[bit] >= config_.endurance &&
+            !std::binary_search(st.stuck_bits.begin(), st.stuck_bits.end(),
+                                bit)) {
+          st.stuck_bits.insert(
+              std::lower_bound(st.stuck_bits.begin(), st.stuck_bits.end(),
+                               bit),
+              bit);
+          if (st.stuck_bits.size() == 1) ++failed_lines_;
+        }
+      }
+    }
+    const usize meta_bits = std::min(st.image.meta.size(), image.meta.size());
+    for (usize i = 0; i < meta_bits; ++i) {
+      if (st.image.meta.bit(i) != image.meta.bit(i)) {
+        ++st.bit_wear[kLineBits + i];
+      }
+    }
+  }
+
+  // Stuck cells retain their previous value: apply the write, then restore
+  // the positions that were stuck when the write was issued.
+  StoredLine next = image;
+  for (usize bit : stuck_before) {
+    next.data.set_bit(bit, st.image.data.bit(bit));
+  }
+
+  st.image = next;
+  st.wear.flips += flips;
+  ++st.wear.writes;
+  total_flips_ += flips;
+  ++total_writes_;
+}
+
+const LineWear* NvmDevice::wear(u64 line_addr) const {
+  const auto it = lines_.find(line_addr);
+  return it == lines_.end() ? nullptr : &it->second.wear;
+}
+
+const std::vector<u32>* NvmDevice::bit_wear(u64 line_addr) const {
+  const auto it = lines_.find(line_addr);
+  if (it == lines_.end() || it->second.bit_wear.empty()) return nullptr;
+  return &it->second.bit_wear;
+}
+
+void NvmDevice::inject_stuck_bit(u64 line_addr, usize bit) {
+  require(bit < kLineBits, "stuck bit must be a data-cell position");
+  LineState& st = state(line_addr);
+  if (!std::binary_search(st.stuck_bits.begin(), st.stuck_bits.end(), bit)) {
+    st.stuck_bits.insert(
+        std::lower_bound(st.stuck_bits.begin(), st.stuck_bits.end(), bit),
+        bit);
+    if (st.stuck_bits.size() == 1) ++failed_lines_;
+  }
+}
+
+}  // namespace nvmenc

@@ -1,0 +1,92 @@
+// NvmDevice: the PCM array at architectural abstraction.
+//
+// Stores the encoded image (data + metadata cells) of every line ever
+// written, tracks per-line wear (total cell flips), and models endurance:
+// a cell whose flip count exceeds the endurance limit becomes stuck at its
+// last value. Per-bit wear maps are kept for a configurable sample of
+// lines so wear-leveling experiments can observe intra-line imbalance
+// without gigabytes of counters.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "encoding/encoder.hpp"
+
+namespace nvmenc {
+
+struct NvmDeviceConfig {
+  /// Cell endurance in flips; 0 disables failure modelling. The paper
+  /// quotes 1e8..1e10 for PCM/RRAM. Endurance failure is detected on lines
+  /// with per-bit wear tracking (see bit_wear_sample); a cell that reaches
+  /// the limit completes that write and sticks afterwards.
+  u64 endurance = 0;
+  /// Track a full per-bit wear map for every `bit_wear_sample`-th line
+  /// (0 disables per-bit tracking).
+  usize bit_wear_sample = 0;
+};
+
+/// Per-line wear summary.
+struct LineWear {
+  u64 flips = 0;   ///< total cell flips in this line (data + metadata)
+  u64 writes = 0;  ///< write-backs that touched this line
+};
+
+class NvmDevice {
+ public:
+  using Initializer = std::function<StoredLine(u64 line_addr)>;
+
+  /// `initializer` materializes the pristine stored image of a line on
+  /// first access (the simulator wires this to the workload's initial
+  /// image passed through the encoder).
+  NvmDevice(NvmDeviceConfig config, Initializer initializer);
+
+  /// Current stored image (creating the line if pristine).
+  [[nodiscard]] const StoredLine& load(u64 line_addr);
+
+  /// Replaces the stored image, accounting wear for `flips` cell flips.
+  /// When endurance modelling is on, stuck cells silently hold their old
+  /// value (writes to them are dropped) — the SAFER-style failure mode the
+  /// paper cites.
+  void store(u64 line_addr, const StoredLine& image, usize flips);
+
+  [[nodiscard]] const LineWear* wear(u64 line_addr) const;
+  /// Per-bit wear map of a sampled line; nullptr when not sampled.
+  [[nodiscard]] const std::vector<u32>* bit_wear(u64 line_addr) const;
+
+  /// Lines with at least one stuck cell.
+  [[nodiscard]] u64 failed_lines() const noexcept { return failed_lines_; }
+  [[nodiscard]] u64 total_flips() const noexcept { return total_flips_; }
+  [[nodiscard]] u64 total_writes() const noexcept { return total_writes_; }
+  [[nodiscard]] usize touched_lines() const noexcept {
+    return lines_.size();
+  }
+
+  /// Injects a stuck-at fault: data bit `bit` of `line_addr` stops
+  /// updating. For failure-injection tests.
+  void inject_stuck_bit(u64 line_addr, usize bit);
+
+ private:
+  struct LineState {
+    StoredLine image;
+    LineWear wear;
+    /// Stuck data-cell positions (sorted); empty for healthy lines.
+    std::vector<usize> stuck_bits;
+    std::vector<u32> bit_wear;  ///< per data+meta bit; empty if unsampled
+  };
+
+  LineState& state(u64 line_addr);
+  [[nodiscard]] bool sampled(u64 line_addr) const noexcept;
+
+  NvmDeviceConfig config_;
+  Initializer initializer_;
+  std::unordered_map<u64, LineState> lines_;
+  u64 total_flips_ = 0;
+  u64 total_writes_ = 0;
+  u64 failed_lines_ = 0;
+};
+
+}  // namespace nvmenc

@@ -1,0 +1,40 @@
+#include "nvm/mlc.hpp"
+
+namespace nvmenc {
+
+double mlc_write_energy(const CacheLine& before, const CacheLine& after,
+                        const MlcEnergyParams& params) {
+  double energy = 0.0;
+  for (usize w = 0; w < kWordsPerLine; ++w) {
+    u64 old_word = before.word(w);
+    u64 new_word = after.word(w);
+    if (old_word == new_word) continue;
+    for (usize pair = 0; pair < 32; ++pair) {
+      const u8 old_state =
+          mlc_state_of_bits(static_cast<u8>(old_word & 3));
+      const u8 new_state =
+          mlc_state_of_bits(static_cast<u8>(new_word & 3));
+      energy += params.transition_pj[old_state][new_state];
+      old_word >>= 2;
+      new_word >>= 2;
+    }
+  }
+  return energy;
+}
+
+usize mlc_cell_changes(const CacheLine& before, const CacheLine& after) {
+  usize changes = 0;
+  for (usize w = 0; w < kWordsPerLine; ++w) {
+    u64 old_word = before.word(w);
+    u64 new_word = after.word(w);
+    if (old_word == new_word) continue;
+    for (usize pair = 0; pair < 32; ++pair) {
+      changes += (old_word & 3) != (new_word & 3);
+      old_word >>= 2;
+      new_word >>= 2;
+    }
+  }
+  return changes;
+}
+
+}  // namespace nvmenc

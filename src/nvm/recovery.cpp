@@ -1,0 +1,54 @@
+#include "nvm/recovery.hpp"
+
+namespace nvmenc {
+
+FaultTolerantStore::FaultTolerantStore(NvmDevice& device, SaferCodec codec)
+    : device_{&device}, codec_{std::move(codec)} {}
+
+void FaultTolerantStore::report_fault(u64 line_addr, usize bit,
+                                      bool stuck_value) {
+  std::vector<StuckCell>& line_faults = faults_[line_addr];
+  for (const StuckCell& fault : line_faults) {
+    if (fault.bit == bit) return;  // already known
+  }
+  // Make the device cell hold the stuck value before freezing it, so the
+  // recorded fault matches physical reality.
+  StoredLine image = device_->load(line_addr);
+  if (image.data.bit(bit) != stuck_value) {
+    image.data.set_bit(bit, stuck_value);
+    device_->store(line_addr, image, 1);
+  }
+  line_faults.push_back({bit, stuck_value});
+  device_->inject_stuck_bit(line_addr, bit);
+}
+
+bool FaultTolerantStore::store(u64 line_addr, const StoredLine& image,
+                               usize flips) {
+  const auto it = faults_.find(line_addr);
+  if (it == faults_.end()) {
+    device_->store(line_addr, image, flips);
+    return true;
+  }
+  const std::optional<SaferEncoding> enc =
+      codec_.solve(it->second, image.data);
+  if (!enc.has_value()) {
+    ++unrecoverable_;
+    return false;
+  }
+  StoredLine protected_image = image;
+  protected_image.data = codec_.apply(image.data, *enc);
+  device_->store(line_addr, protected_image, flips);
+  encodings_[line_addr] = *enc;
+  return true;
+}
+
+StoredLine FaultTolerantStore::load(u64 line_addr) {
+  StoredLine image = device_->load(line_addr);
+  const auto it = encodings_.find(line_addr);
+  if (it != encodings_.end()) {
+    image.data = codec_.apply(image.data, it->second);
+  }
+  return image;
+}
+
+}  // namespace nvmenc

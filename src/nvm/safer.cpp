@@ -1,0 +1,82 @@
+#include "nvm/safer.hpp"
+
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace nvmenc {
+
+namespace {
+/// Bits needed to index a cell of the 512-bit line.
+constexpr usize kIndexBits = 9;
+}  // namespace
+
+SaferCodec::SaferCodec(usize group_bits) : group_bits_{group_bits} {
+  require(group_bits_ >= 1 && group_bits_ <= kIndexBits,
+          "SAFER group bits must be 1..9");
+  // Enumerate every index-bit mask with exactly `group_bits` bits set.
+  for (u16 mask = 0; mask < (1u << kIndexBits); ++mask) {
+    if (popcount(mask) == group_bits_) selections_.push_back(mask);
+  }
+}
+
+u32 SaferCodec::group_of(usize bit, u16 index_mask) noexcept {
+  // Extract the selected index bits of `bit`, compacted (PEXT-style).
+  u32 group = 0;
+  usize out = 0;
+  for (usize b = 0; b < kIndexBits; ++b) {
+    if ((index_mask >> b) & 1) {
+      group |= static_cast<u32>((bit >> b) & 1) << out;
+      ++out;
+    }
+  }
+  return group;
+}
+
+usize SaferCodec::meta_bits() const noexcept {
+  // Selection id (enough bits for 9-choose-k) + one flag per group.
+  usize id_bits = 0;
+  while ((usize{1} << id_bits) < selections_.size()) ++id_bits;
+  return id_bits + (usize{1} << group_bits_);
+}
+
+std::optional<SaferEncoding> SaferCodec::solve(
+    const std::vector<StuckCell>& faults, const CacheLine& data) const {
+  for (const u16 mask : selections_) {
+    // Each group must have a consistent inversion requirement across its
+    // stuck cells; unconstrained groups default to "no inversion".
+    std::unordered_map<u32, bool> required;
+    bool feasible = true;
+    for (const StuckCell& fault : faults) {
+      const bool need_invert = data.bit(fault.bit) != fault.value;
+      const u32 group = group_of(fault.bit, mask);
+      const auto [it, inserted] = required.emplace(group, need_invert);
+      if (!inserted && it->second != need_invert) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+    SaferEncoding enc;
+    enc.index_mask = mask;
+    for (const auto& [group, invert] : required) {
+      if (invert) enc.invert_flags |= u32{1} << group;
+    }
+    return enc;
+  }
+  return std::nullopt;
+}
+
+CacheLine SaferCodec::apply(const CacheLine& data,
+                            const SaferEncoding& encoding) const {
+  CacheLine out = data;
+  for (usize bit = 0; bit < kLineBits; ++bit) {
+    const u32 group = group_of(bit, encoding.index_mask);
+    if ((encoding.invert_flags >> group) & 1) {
+      out.set_bit(bit, !out.bit(bit));
+    }
+  }
+  return out;
+}
+
+}  // namespace nvmenc

@@ -1,0 +1,71 @@
+// SAFER [Seong et al., MICRO'10]: Stuck-At-Fault Error Recovery.
+//
+// The paper's endurance story (Section 1, citing [16]) assumes stuck
+// cells can be tolerated: a stuck-at cell still *reads* correctly, so if
+// the data bit to be stored differs from the stuck value, inverting a
+// group that contains the cell fixes it. SAFER dynamically partitions the
+// 512 data bits into 2^k groups by selecting k of the 9 bit-index bits;
+// two stuck cells with conflicting inversion needs always differ in some
+// index bit, so a selection that separates every conflicting pair exists
+// while the fault count stays moderate. Metadata per line: the selection
+// id plus one inversion flag per group.
+//
+// This module is the recovery substrate for the endurance experiments:
+// NvmDevice reports stuck cells, SaferCodec finds a partition + inversion
+// assignment that stores the data exactly, and the lifetime examples show
+// how many additional faults a line survives beyond its first.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/cache_line.hpp"
+#include "common/types.hpp"
+
+namespace nvmenc {
+
+/// One stuck cell: data-bit position and the value it is stuck at.
+struct StuckCell {
+  usize bit = 0;
+  bool value = false;
+};
+
+/// A partition choice plus per-group inversion flags.
+struct SaferEncoding {
+  /// Which k index bits (of the 9-bit cell index) form the group id,
+  /// encoded as a 9-bit mask with k bits set.
+  u16 index_mask = 0;
+  /// Inversion flag per group (group ids are the extracted index bits).
+  u32 invert_flags = 0;
+};
+
+class SaferCodec {
+ public:
+  /// `group_bits` = k: 2^k groups (SAFER-32 uses k = 5).
+  explicit SaferCodec(usize group_bits = 5);
+
+  /// Finds a partition + inversion assignment under which `data` can be
+  /// stored exactly despite `faults`; nullopt when no selection works
+  /// (the line is dead). Deterministic: the first feasible selection in
+  /// mask order wins.
+  [[nodiscard]] std::optional<SaferEncoding> solve(
+      const std::vector<StuckCell>& faults, const CacheLine& data) const;
+
+  /// Applies (or removes — it is an involution) the group inversions.
+  [[nodiscard]] CacheLine apply(const CacheLine& data,
+                                const SaferEncoding& encoding) const;
+
+  /// Group id of a bit position under a selection mask.
+  [[nodiscard]] static u32 group_of(usize bit, u16 index_mask) noexcept;
+
+  /// Metadata bits per line: selection id + per-group flags.
+  [[nodiscard]] usize meta_bits() const noexcept;
+
+  [[nodiscard]] usize group_bits() const noexcept { return group_bits_; }
+
+ private:
+  usize group_bits_;
+  std::vector<u16> selections_;  ///< all 9-choose-k index-bit masks
+};
+
+}  // namespace nvmenc

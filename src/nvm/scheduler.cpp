@@ -1,0 +1,52 @@
+#include "nvm/scheduler.hpp"
+
+#include <algorithm>
+
+namespace nvmenc {
+
+WriteQueueScheduler::WriteQueueScheduler(SchedulerConfig config)
+    : config_{config}, timing_{config.org} {
+  config_.validate();
+}
+
+double WriteQueueScheduler::drain_to(usize target, double now_ns) {
+  double last = now_ns;
+  while (queue_.size() > target) {
+    const u64 addr = queue_.front();
+    queue_.pop_front();
+    last = timing_.access(addr, MemOp::kWrite, last);
+  }
+  return last;
+}
+
+double WriteQueueScheduler::read(u64 line_addr, double now_ns) {
+  ++stats_.reads;
+  // Forward from the write queue when the line is still buffered.
+  if (std::find(queue_.begin(), queue_.end(), line_addr) != queue_.end()) {
+    ++stats_.forwarded_reads;
+    stats_.read_latency_ns.add(0.0);
+    return now_ns;  // on-chip forward, no array access
+  }
+  const double done = timing_.access(line_addr, MemOp::kRead, now_ns);
+  stats_.read_latency_ns.add(done - now_ns);
+  return done;
+}
+
+void WriteQueueScheduler::write(u64 line_addr, double now_ns) {
+  ++stats_.writes;
+  // Coalesce a re-write of a queued line.
+  if (std::find(queue_.begin(), queue_.end(), line_addr) != queue_.end()) {
+    return;
+  }
+  queue_.push_back(line_addr);
+  if (queue_.size() >= config_.high_watermark) {
+    ++stats_.drains;
+    (void)drain_to(config_.low_watermark, now_ns);
+  }
+}
+
+double WriteQueueScheduler::drain_all(double now_ns) {
+  return drain_to(0, now_ns);
+}
+
+}  // namespace nvmenc

@@ -1,0 +1,86 @@
+// Memory-controller scheduling over the banked timing model.
+//
+// NVM writes are 1.5x slower than reads (Table 2) and can be buffered;
+// real controllers therefore hold write-backs in a write queue, give
+// demand reads priority, and drain writes when the queue crosses a high
+// watermark (or the bus idles). This scheduler implements that policy on
+// top of MemoryTimingModel:
+//
+//   * reads issue immediately (after any in-flight drain on their bank);
+//   * writes enqueue; when the queue reaches `high_watermark` the
+//     controller drains down to `low_watermark`, stalling arriving reads
+//     behind the drain (the classic write-induced read-latency spike);
+//   * a read to a queued write's address is forwarded from the queue.
+//
+// bench/perf_overhead compares scheduled vs unscheduled service; the
+// encode latency rides on writes, so scheduling also determines how much
+// of it demand reads ever observe.
+#pragma once
+
+#include <deque>
+
+#include "nvm/timing.hpp"
+
+namespace nvmenc {
+
+struct SchedulerConfig {
+  MemOrg org;
+  usize write_queue_capacity = 64;
+  usize high_watermark = 48;  ///< start draining at this depth
+  usize low_watermark = 16;   ///< stop draining at this depth
+
+  void validate() const {
+    org.validate();
+    require(write_queue_capacity >= 1, "write queue must hold something");
+    require(high_watermark <= write_queue_capacity &&
+                low_watermark < high_watermark,
+            "watermarks must satisfy low < high <= capacity");
+  }
+};
+
+struct SchedulerStats {
+  u64 reads = 0;
+  u64 writes = 0;
+  u64 forwarded_reads = 0;  ///< served from the write queue
+  u64 drains = 0;           ///< high-watermark drain episodes
+  RunningStat read_latency_ns;
+
+  [[nodiscard]] double avg_read_latency_ns() const noexcept {
+    return read_latency_ns.mean();
+  }
+};
+
+class WriteQueueScheduler {
+ public:
+  explicit WriteQueueScheduler(SchedulerConfig config);
+
+  /// A demand read arriving at `now_ns`; returns its completion time.
+  double read(u64 line_addr, double now_ns);
+
+  /// A write-back arriving at `now_ns` (posted; returns immediately).
+  void write(u64 line_addr, double now_ns);
+
+  /// Flushes the whole write queue; returns the time the last write
+  /// commits.
+  double drain_all(double now_ns);
+
+  [[nodiscard]] const SchedulerStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const MemoryTimingModel& timing() const noexcept {
+    return timing_;
+  }
+  [[nodiscard]] usize queue_depth() const noexcept { return queue_.size(); }
+
+ private:
+  /// Issues queued writes until depth <= `target`; returns completion of
+  /// the last one issued (or `now_ns` if none).
+  double drain_to(usize target, double now_ns);
+
+  SchedulerConfig config_;
+  MemoryTimingModel timing_;
+  std::deque<u64> queue_;
+  SchedulerStats stats_;
+};
+
+}  // namespace nvmenc

@@ -1,0 +1,74 @@
+#include "nvm/timing.hpp"
+
+#include <algorithm>
+
+namespace nvmenc {
+
+MemoryTimingModel::MemoryTimingModel(MemOrg org) : org_{org} {
+  org_.validate();
+  banks_.resize(org_.channels * org_.ranks * org_.banks);
+  bus_free_at_.resize(org_.channels, 0.0);
+}
+
+BankAddress MemoryTimingModel::decompose(u64 line_addr) const noexcept {
+  const u64 row_id = line_addr / org_.row_bytes;
+  BankAddress addr;
+  addr.channel = static_cast<usize>(row_id % org_.channels);
+  const u64 above_channel = row_id / org_.channels;
+  const usize banks_per_channel = org_.ranks * org_.banks;
+  addr.bank = static_cast<usize>(above_channel % banks_per_channel);
+  addr.row = above_channel / banks_per_channel;
+  return addr;
+}
+
+double MemoryTimingModel::access(u64 line_addr, MemOp op,
+                                 double arrival_ns) {
+  const BankAddress where = decompose(line_addr);
+  BankState& bank =
+      banks_[where.channel * org_.ranks * org_.banks + where.bank];
+
+  // The request starts when both it has arrived and the bank is free.
+  double start = std::max(arrival_ns, bank.free_at);
+
+  // Row buffer: a miss pays precharge + activate before the array access.
+  double service = 0.0;
+  if (bank.row_valid && bank.open_row == where.row) {
+    ++stats_.row_hits;
+  } else {
+    ++stats_.row_misses;
+    service += org_.t_row_cycle_ns;
+    bank.open_row = where.row;
+    bank.row_valid = true;
+  }
+  if (op == MemOp::kRead) {
+    service += org_.decode_latency_ns + org_.t_read_ns;
+  } else {
+    service += org_.encode_latency_ns + org_.t_write_ns;
+  }
+
+  // The line transfer needs the channel bus; serialize on it.
+  double& bus = bus_free_at_[where.channel];
+  const double array_done = start + service;
+  const double bus_start = std::max(array_done, bus);
+  const double completion = bus_start + org_.t_bus_ns;
+  bus = completion;
+  bank.free_at = completion;
+
+  const double latency = completion - arrival_ns;
+  if (op == MemOp::kRead) {
+    ++stats_.reads;
+    stats_.read_latency_ns.add(latency);
+  } else {
+    ++stats_.writes;
+    stats_.write_latency_ns.add(latency);
+  }
+  return completion;
+}
+
+double MemoryTimingModel::bank_free_at(usize channel, usize bank) const {
+  require(channel < org_.channels && bank < org_.ranks * org_.banks,
+          "bank index out of range");
+  return banks_[channel * org_.ranks * org_.banks + bank].free_at;
+}
+
+}  // namespace nvmenc

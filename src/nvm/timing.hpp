@@ -1,0 +1,102 @@
+// Banked PCM timing model (the NVMain-style performance side).
+//
+// The paper's Table 2 gives array timings (read 100 ns, write 150 ns) and
+// Section 3.4.2 argues the 3.47 ns encode latency is negligible because
+// system performance is read-dominated. This model makes that claim
+// checkable: a channel/rank/bank decomposition with per-bank row buffers,
+// bank occupancy, and a shared data bus. Requests are serviced in arrival
+// order per bank (FCFS), reads block the CPU, writes drain in the
+// background from the controller's write queue.
+//
+// The model is deliberately event-light: one completion time per request,
+// no command-level DDR protocol — enough to expose queueing and row
+// locality, which is what the encode-latency question touches.
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace nvmenc {
+
+struct MemOrg {
+  usize channels = 1;
+  usize ranks = 1;
+  usize banks = 8;          ///< per rank
+  usize row_bytes = 4096;   ///< row-buffer width
+
+  double t_read_ns = 100.0;        ///< array read, row open (Table 2)
+  double t_write_ns = 150.0;       ///< array write, row open (Table 2)
+  double t_row_cycle_ns = 60.0;    ///< precharge + activate on a row miss
+  double t_bus_ns = 8.0;           ///< line transfer on the channel bus
+  double encode_latency_ns = 0.0;  ///< added to writes (paper: 3.47)
+  double decode_latency_ns = 0.0;  ///< added to reads (paper: ~0)
+
+  void validate() const {
+    require(channels >= 1 && ranks >= 1 && banks >= 1,
+            "memory organization must be non-empty");
+    require(row_bytes >= kLineBytes && row_bytes % kLineBytes == 0,
+            "row must hold a whole number of lines");
+  }
+};
+
+/// Physical location of a line.
+struct BankAddress {
+  usize channel = 0;
+  usize bank = 0;  ///< flattened rank*banks + bank
+  u64 row = 0;
+};
+
+enum class MemOp : u8 { kRead, kWrite };
+
+struct TimingStats {
+  u64 reads = 0;
+  u64 writes = 0;
+  u64 row_hits = 0;
+  u64 row_misses = 0;
+  RunningStat read_latency_ns;   ///< arrival -> data returned
+  RunningStat write_latency_ns;  ///< arrival -> cells committed
+
+  [[nodiscard]] double row_hit_rate() const noexcept {
+    const u64 total = row_hits + row_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(row_hits) /
+                            static_cast<double>(total);
+  }
+};
+
+class MemoryTimingModel {
+ public:
+  explicit MemoryTimingModel(MemOrg org);
+
+  /// Line address -> bank/row decomposition. Consecutive lines fill a row,
+  /// rows interleave across banks then channels (row-interleaved mapping).
+  [[nodiscard]] BankAddress decompose(u64 line_addr) const noexcept;
+
+  /// Services one request arriving at `arrival_ns`; returns its completion
+  /// time. Reads are prioritized only in the sense that the caller issues
+  /// them at CPU time; each bank is FCFS.
+  double access(u64 line_addr, MemOp op, double arrival_ns);
+
+  [[nodiscard]] const TimingStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const MemOrg& org() const noexcept { return org_; }
+
+  /// Earliest time the named bank is free (for tests).
+  [[nodiscard]] double bank_free_at(usize channel, usize bank) const;
+
+ private:
+  struct BankState {
+    double free_at = 0.0;
+    u64 open_row = ~u64{0};
+    bool row_valid = false;
+  };
+
+  MemOrg org_;
+  std::vector<BankState> banks_;    // channel-major
+  std::vector<double> bus_free_at_; // per channel
+  TimingStats stats_;
+};
+
+}  // namespace nvmenc

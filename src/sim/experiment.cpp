@@ -1,0 +1,141 @@
+#include "sim/experiment.hpp"
+
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "trace/synthetic.hpp"
+
+namespace nvmenc {
+
+ExperimentMatrix::ExperimentMatrix(
+    std::vector<std::string> benchmarks, std::vector<Scheme> schemes,
+    std::vector<std::vector<ReplayResult>> results)
+    : benchmarks_{std::move(benchmarks)},
+      schemes_{std::move(schemes)},
+      results_{std::move(results)} {
+  require(results_.size() == benchmarks_.size(),
+          "matrix rows must match benchmarks");
+  for (const auto& row : results_) {
+    require(row.size() == schemes_.size(),
+            "matrix columns must match schemes");
+  }
+}
+
+usize ExperimentMatrix::scheme_index(Scheme scheme) const {
+  for (usize i = 0; i < schemes_.size(); ++i) {
+    if (schemes_[i] == scheme) return i;
+  }
+  throw std::invalid_argument("scheme not in this experiment: " +
+                              scheme_name(scheme));
+}
+
+const ReplayResult& ExperimentMatrix::at(usize benchmark,
+                                         usize scheme) const {
+  require(benchmark < benchmarks_.size() && scheme < schemes_.size(),
+          "matrix index out of range");
+  return results_[benchmark][scheme];
+}
+
+const ReplayResult& ExperimentMatrix::at(const std::string& benchmark,
+                                         Scheme scheme) const {
+  for (usize b = 0; b < benchmarks_.size(); ++b) {
+    if (benchmarks_[b] == benchmark) return at(b, scheme_index(scheme));
+  }
+  throw std::invalid_argument("benchmark not in this experiment: " +
+                              benchmark);
+}
+
+double ExperimentMatrix::ratio(usize benchmark, Scheme scheme, Scheme base,
+                               const Metric& metric) const {
+  const double numer = metric(at(benchmark, scheme_index(scheme)));
+  const double denom = metric(at(benchmark, scheme_index(base)));
+  require(denom > 0.0, "baseline metric must be positive");
+  return numer / denom;
+}
+
+TextTable ExperimentMatrix::normalized_table(const Metric& metric,
+                                             Scheme base) const {
+  std::vector<std::string> header{"benchmark"};
+  for (Scheme s : schemes_) header.push_back(scheme_name(s));
+  TextTable table{std::move(header)};
+
+  for (usize b = 0; b < benchmarks_.size(); ++b) {
+    std::vector<std::string> row{benchmarks_[b]};
+    for (Scheme s : schemes_) {
+      row.push_back(TextTable::fmt(ratio(b, s, base, metric)));
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::vector<std::string> avg{"average"};
+  for (Scheme s : schemes_) {
+    avg.push_back(TextTable::fmt(average_ratio(s, base, metric)));
+  }
+  table.add_row(std::move(avg));
+  return table;
+}
+
+double ExperimentMatrix::average_ratio(Scheme scheme, Scheme base,
+                                       const Metric& metric) const {
+  std::vector<double> ratios;
+  ratios.reserve(benchmarks_.size());
+  for (usize b = 0; b < benchmarks_.size(); ++b) {
+    ratios.push_back(ratio(b, scheme, base, metric));
+  }
+  return geomean(ratios);
+}
+
+ExperimentMatrix::Metric metric_total_flips() {
+  return [](const ReplayResult& r) {
+    return static_cast<double>(r.stats.flips.total());
+  };
+}
+
+ExperimentMatrix::Metric metric_energy() {
+  return [](const ReplayResult& r) { return r.stats.energy.total_pj(); };
+}
+
+ExperimentMatrix::Metric metric_tag_flips() {
+  return [](const ReplayResult& r) {
+    return static_cast<double>(r.stats.flips.tag);
+  };
+}
+
+ExperimentMatrix::Metric metric_lifetime() {
+  return [](const ReplayResult& r) {
+    return 1.0 / static_cast<double>(r.stats.flips.total());
+  };
+}
+
+ExperimentMatrix run_experiment(const std::vector<WorkloadProfile>& profiles,
+                                std::vector<Scheme> schemes,
+                                const ExperimentConfig& config,
+                                std::ostream* progress) {
+  std::vector<std::string> names;
+  std::vector<std::vector<ReplayResult>> results;
+  names.reserve(profiles.size());
+  results.reserve(profiles.size());
+
+  for (const WorkloadProfile& profile : profiles) {
+    SyntheticWorkload workload{profile, config.seed};
+    const WritebackTrace trace = collect_writebacks(workload,
+                                                    config.collector);
+    std::vector<ReplayResult> row;
+    row.reserve(schemes.size());
+    for (Scheme scheme : schemes) {
+      row.push_back(replay_scheme(trace, scheme, config.energy));
+    }
+    if (progress != nullptr) {
+      *progress << "  " << profile.name << ": "
+                << trace.measured.size() << " write-backs, "
+                << trace.demand_reads << " demand reads\n";
+      progress->flush();
+    }
+    names.push_back(profile.name);
+    results.push_back(std::move(row));
+  }
+  return {std::move(names), std::move(schemes), std::move(results)};
+}
+
+}  // namespace nvmenc

@@ -1,0 +1,82 @@
+// ExperimentRunner: the scheme x benchmark evaluation matrix.
+//
+// Reproduces the paper's methodology: each benchmark's workload runs once
+// through the cache hierarchy (collector), and the captured write-back
+// stream is replayed through every encoding scheme. Helpers turn the
+// matrix into the normalized per-benchmark tables the figures plot,
+// including the cross-benchmark average row the paper's headline numbers
+// come from.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/schemes.hpp"
+#include "sim/collector.hpp"
+#include "sim/replay.hpp"
+#include "trace/profile.hpp"
+
+namespace nvmenc {
+
+struct ExperimentConfig {
+  CollectorConfig collector;
+  EnergyParams energy;
+  u64 seed = 42;
+};
+
+class ExperimentMatrix {
+ public:
+  ExperimentMatrix(std::vector<std::string> benchmarks,
+                   std::vector<Scheme> schemes,
+                   std::vector<std::vector<ReplayResult>> results);
+
+  [[nodiscard]] const std::vector<std::string>& benchmarks() const noexcept {
+    return benchmarks_;
+  }
+  [[nodiscard]] const std::vector<Scheme>& schemes() const noexcept {
+    return schemes_;
+  }
+  [[nodiscard]] const ReplayResult& at(usize benchmark, usize scheme) const;
+  [[nodiscard]] const ReplayResult& at(const std::string& benchmark,
+                                       Scheme scheme) const;
+
+  using Metric = std::function<double(const ReplayResult&)>;
+
+  /// metric(scheme) / metric(base) for one benchmark.
+  [[nodiscard]] double ratio(usize benchmark, Scheme scheme, Scheme base,
+                             const Metric& metric) const;
+
+  /// Normalized table in the paper's figure layout: one row per benchmark,
+  /// one column per scheme, values metric/metric(base); a final geomean
+  /// row ("average") matches the paper's summary statistics.
+  [[nodiscard]] TextTable normalized_table(const Metric& metric,
+                                           Scheme base) const;
+
+  /// Geomean of the per-benchmark ratios of `scheme` vs `base`.
+  [[nodiscard]] double average_ratio(Scheme scheme, Scheme base,
+                                     const Metric& metric) const;
+
+ private:
+  [[nodiscard]] usize scheme_index(Scheme scheme) const;
+
+  std::vector<std::string> benchmarks_;
+  std::vector<Scheme> schemes_;
+  std::vector<std::vector<ReplayResult>> results_;  // [benchmark][scheme]
+};
+
+/// Standard metrics for the four result figures.
+[[nodiscard]] ExperimentMatrix::Metric metric_total_flips();
+[[nodiscard]] ExperimentMatrix::Metric metric_energy();
+[[nodiscard]] ExperimentMatrix::Metric metric_tag_flips();
+/// Lifetime under ideal wear leveling is inversely proportional to total
+/// flips (Section 4.2.4), so the metric is 1 / flips.
+[[nodiscard]] ExperimentMatrix::Metric metric_lifetime();
+
+/// Runs the full matrix. `progress`, when non-null, receives one line per
+/// completed benchmark.
+[[nodiscard]] ExperimentMatrix run_experiment(
+    const std::vector<WorkloadProfile>& profiles, std::vector<Scheme> schemes,
+    const ExperimentConfig& config, std::ostream* progress = nullptr);
+
+}  // namespace nvmenc

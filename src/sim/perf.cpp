@@ -1,0 +1,61 @@
+#include "sim/perf.hpp"
+
+#include <algorithm>
+
+namespace nvmenc {
+
+namespace {
+
+PerfResult run_scheduled(const std::vector<MemRequest>& requests,
+                         const PerfConfig& config) {
+  SchedulerConfig sc;
+  sc.org = config.org;
+  sc.write_queue_capacity = config.write_queue_capacity;
+  sc.high_watermark = config.high_watermark;
+  sc.low_watermark = config.low_watermark;
+  WriteQueueScheduler scheduler{sc};
+  double cpu_time = 0.0;
+  for (const MemRequest& req : requests) {
+    cpu_time += config.cpu_gap_ns;
+    if (req.is_write) {
+      scheduler.write(req.line_addr, cpu_time);
+    } else {
+      cpu_time = scheduler.read(req.line_addr, cpu_time);
+    }
+  }
+  const double end = scheduler.drain_all(cpu_time);
+  PerfResult result;
+  result.timing = scheduler.timing().stats();
+  result.scheduler = scheduler.stats();
+  result.total_ns = end;
+  return result;
+}
+
+}  // namespace
+
+PerfResult run_timing(const std::vector<MemRequest>& requests,
+                      const PerfConfig& config) {
+  if (config.use_write_queue) return run_scheduled(requests, config);
+  MemoryTimingModel model{config.org};
+  double cpu_time = 0.0;
+  double last_write_completion = 0.0;
+  for (const MemRequest& req : requests) {
+    cpu_time += config.cpu_gap_ns;
+    const double completion = model.access(
+        req.line_addr, req.is_write ? MemOp::kWrite : MemOp::kRead,
+        cpu_time);
+    if (req.is_write) {
+      // Posted: the CPU does not wait, but the simulation's end time must
+      // cover the drain.
+      last_write_completion = std::max(last_write_completion, completion);
+    } else {
+      cpu_time = completion;  // demand read stalls the CPU
+    }
+  }
+  PerfResult result;
+  result.timing = model.stats();
+  result.total_ns = std::max(cpu_time, last_write_completion);
+  return result;
+}
+
+}  // namespace nvmenc

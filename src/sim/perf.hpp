@@ -1,0 +1,45 @@
+// Performance replay: drives the banked timing model with a collected
+// request stream under a simple CPU arrival model.
+//
+// Demand reads stall the CPU (the next request cannot be generated before
+// the read returns); write-backs are posted (the eviction is buffered and
+// the CPU continues). Between consecutive memory requests the CPU does
+// `cpu_gap_ns` of on-chip work (cache hits and computation). This is the
+// model behind bench/perf_overhead, which checks the paper's Section
+// 3.4.2 claim that the 3.47 ns encode latency is performance-neutral.
+#pragma once
+
+#include "nvm/scheduler.hpp"
+#include "nvm/timing.hpp"
+#include "sim/collector.hpp"
+
+namespace nvmenc {
+
+struct PerfConfig {
+  MemOrg org;
+  /// On-chip time between consecutive memory requests.
+  double cpu_gap_ns = 20.0;
+  /// Route writes through the WriteQueueScheduler (read priority, drain
+  /// watermarks) instead of issuing them in arrival order.
+  bool use_write_queue = false;
+  usize write_queue_capacity = 64;
+  usize high_watermark = 48;
+  usize low_watermark = 16;
+};
+
+struct PerfResult {
+  TimingStats timing;
+  SchedulerStats scheduler;  ///< populated when use_write_queue is set
+  double total_ns = 0.0;  ///< CPU time to issue + retire the whole stream
+
+  [[nodiscard]] double avg_read_latency_ns() const noexcept {
+    return scheduler.reads > 0 ? scheduler.avg_read_latency_ns()
+                               : timing.read_latency_ns.mean();
+  }
+};
+
+/// Replays `requests` (in order) through a fresh MemoryTimingModel.
+[[nodiscard]] PerfResult run_timing(const std::vector<MemRequest>& requests,
+                                    const PerfConfig& config);
+
+}  // namespace nvmenc

@@ -1,0 +1,30 @@
+// Replays a collected write-back trace through one encoding scheme.
+//
+// Builds a fresh NvmDevice + MemoryController for the scheme, applies the
+// warm-up write-backs to reach steady stored/tag state, resets statistics,
+// then plays the measured window and returns the controller statistics
+// (with the window's demand-read energy folded in, so energy totals are
+// comparable the way Section 4.2.2 compares them).
+#pragma once
+
+#include "core/schemes.hpp"
+#include "nvm/controller.hpp"
+#include "sim/collector.hpp"
+
+namespace nvmenc {
+
+struct ReplayResult {
+  std::string benchmark;
+  std::string scheme;
+  ControllerStats stats;
+  usize meta_bits = 0;
+  u64 device_flips = 0;  ///< device-side cross-check of stats.flips.total()
+};
+
+/// The trace's `initial_line` function must still be valid (i.e. the
+/// workload that produced it must be alive).
+[[nodiscard]] ReplayResult replay_scheme(const WritebackTrace& trace,
+                                         Scheme scheme,
+                                         const EnergyParams& energy = {});
+
+}  // namespace nvmenc

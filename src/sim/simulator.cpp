@@ -1,0 +1,43 @@
+#include "sim/simulator.hpp"
+
+#include "common/error.hpp"
+
+namespace nvmenc {
+
+Simulator::Simulator(SimConfig config,
+                     std::unique_ptr<WorkloadGenerator> workload,
+                     Scheme scheme)
+    : config_{std::move(config)}, workload_{std::move(workload)} {
+  require(workload_ != nullptr, "simulator needs a workload");
+
+  EncoderPtr encoder = make_encoder(scheme);
+  const Encoder* enc = encoder.get();
+  const WorkloadGenerator* wl = workload_.get();
+  device_ = std::make_unique<NvmDevice>(
+      config_.device,
+      [enc, wl](u64 addr) { return enc->make_stored(wl->initial_line(addr)); });
+
+  ControllerConfig cc;
+  cc.energy = config_.energy;
+  cc.charge_encode_logic = charges_encode_logic(scheme);
+  controller_ = std::make_unique<MemoryController>(cc, std::move(encoder),
+                                                   *device_);
+  hierarchy_ = std::make_unique<CacheHierarchy>(config_.caches, *controller_);
+}
+
+void Simulator::run(u64 accesses) {
+  for (u64 i = 0; i < accesses; ++i) {
+    hierarchy_->access(workload_->next());
+  }
+}
+
+void Simulator::warmup() {
+  run(config_.warmup_accesses);
+  reset_stats();
+}
+
+void Simulator::drain() { hierarchy_->flush(); }
+
+void Simulator::reset_stats() { controller_->reset_stats(); }
+
+}  // namespace nvmenc

@@ -1,0 +1,61 @@
+// Simulator: the full online pipeline (workload -> caches -> controller ->
+// NVM device), for examples and integration tests. Figure regeneration
+// uses the collect/replay split instead (collector.hpp, replay.hpp), which
+// is equivalent but shares the cache simulation across schemes.
+#pragma once
+
+#include <memory>
+
+#include "cache/cache_config.hpp"
+#include "cache/hierarchy.hpp"
+#include "core/schemes.hpp"
+#include "nvm/controller.hpp"
+#include "trace/workload.hpp"
+
+namespace nvmenc {
+
+struct SimConfig {
+  std::vector<CacheConfig> caches = scaled_hierarchy();
+  EnergyParams energy;
+  NvmDeviceConfig device;
+  u64 warmup_accesses = 100'000;
+};
+
+class Simulator {
+ public:
+  Simulator(SimConfig config, std::unique_ptr<WorkloadGenerator> workload,
+            Scheme scheme);
+
+  /// Runs `accesses` CPU accesses through the pipeline.
+  void run(u64 accesses);
+
+  /// Runs the configured warm-up window and clears the statistics.
+  void warmup();
+
+  /// Writes all dirty cache contents back to the NVM (end of simulation).
+  void drain();
+
+  [[nodiscard]] const ControllerStats& stats() const noexcept {
+    return controller_->stats();
+  }
+  [[nodiscard]] const CacheHierarchy& caches() const noexcept {
+    return *hierarchy_;
+  }
+  [[nodiscard]] NvmDevice& device() noexcept { return *device_; }
+  [[nodiscard]] const Encoder& encoder() const noexcept {
+    return controller_->encoder();
+  }
+  [[nodiscard]] WorkloadGenerator& workload() noexcept { return *workload_; }
+
+  /// Clears controller statistics (used after warm-up).
+  void reset_stats();
+
+ private:
+  SimConfig config_;
+  std::unique_ptr<WorkloadGenerator> workload_;
+  std::unique_ptr<NvmDevice> device_;
+  std::unique_ptr<MemoryController> controller_;
+  std::unique_ptr<CacheHierarchy> hierarchy_;
+};
+
+}  // namespace nvmenc

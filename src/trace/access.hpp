@@ -1,0 +1,41 @@
+// Memory-access record types.
+//
+// The workload layer emits a stream of word-granularity CPU accesses (the
+// paper: "the write granularity of the CPU is word"). The cache hierarchy
+// consumes them and emits 64-byte dirty-line write-backs to the memory
+// controller.
+#pragma once
+
+#include "common/cache_line.hpp"
+#include "common/types.hpp"
+
+namespace nvmenc {
+
+enum class Op : u8 { kRead = 0, kWrite = 1 };
+
+/// One CPU access to a 64-bit word. Addresses are byte addresses aligned to
+/// 8 bytes; `value` is meaningful only for writes.
+struct MemAccess {
+  u64 addr = 0;
+  Op op = Op::kRead;
+  u64 value = 0;
+
+  [[nodiscard]] u64 line_addr() const noexcept {
+    return addr & ~static_cast<u64>(kLineBytes - 1);
+  }
+  [[nodiscard]] usize word_index() const noexcept {
+    return static_cast<usize>((addr / 8) % kWordsPerLine);
+  }
+
+  bool operator==(const MemAccess&) const = default;
+};
+
+/// One dirty-line write-back as seen by the memory controller: the line
+/// address, the new contents, and (resolved by the controller against its
+/// backing image) the old contents.
+struct WriteBack {
+  u64 line_addr = 0;
+  CacheLine data;
+};
+
+}  // namespace nvmenc

@@ -1,0 +1,39 @@
+#include "trace/mixed.hpp"
+
+#include "common/error.hpp"
+
+namespace nvmenc {
+
+MixedWorkload::MixedWorkload(
+    std::vector<std::unique_ptr<WorkloadGenerator>> cores, u64 stride)
+    : cores_{std::move(cores)}, stride_{stride} {
+  require(!cores_.empty(), "mix needs at least one core");
+  require(stride_ >= (u64{1} << 32),
+          "per-core stride must clear any working set");
+  for (const auto& core : cores_) {
+    require(core != nullptr, "mix has a null core");
+  }
+  name_ = "mix(";
+  for (usize i = 0; i < cores_.size(); ++i) {
+    if (i != 0) name_ += "+";
+    name_ += cores_[i]->name();
+  }
+  name_ += ")";
+}
+
+MemAccess MixedWorkload::next() {
+  const usize core = turn_;
+  turn_ = (turn_ + 1) % cores_.size();
+  MemAccess access = cores_[core]->next();
+  access.addr += static_cast<u64>(core) * stride_;
+  return access;
+}
+
+CacheLine MixedWorkload::initial_line(u64 line_addr) const {
+  const usize core = static_cast<usize>(line_addr / stride_);
+  require(core < cores_.size(), "address outside any core's space");
+  return cores_[core]->initial_line(line_addr -
+                                    static_cast<u64>(core) * stride_);
+}
+
+}  // namespace nvmenc

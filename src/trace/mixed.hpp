@@ -1,0 +1,40 @@
+// MixedWorkload: multiprogrammed (multi-core) access streams.
+//
+// The paper's platform is a 4-core system over a shared L3 (Table 2).
+// MixedWorkload interleaves the access streams of N per-core generators
+// round-robin — the memory-side approximation of N cores of equal
+// progress — and isolates their address spaces with a large per-core
+// stride, so the shared levels see genuine capacity contention between
+// the programs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "trace/workload.hpp"
+
+namespace nvmenc {
+
+class MixedWorkload final : public WorkloadGenerator {
+ public:
+  /// `cores` must be non-empty; each per-core address space starts at
+  /// core_index * `stride` (default 1 TiB apart — far beyond any working
+  /// set).
+  explicit MixedWorkload(
+      std::vector<std::unique_ptr<WorkloadGenerator>> cores,
+      u64 stride = u64{1} << 40);
+
+  MemAccess next() override;
+  [[nodiscard]] CacheLine initial_line(u64 line_addr) const override;
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+  [[nodiscard]] usize cores() const noexcept { return cores_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<WorkloadGenerator>> cores_;
+  u64 stride_;
+  usize turn_ = 0;
+  std::string name_;
+};
+
+}  // namespace nvmenc

@@ -1,0 +1,107 @@
+#include "trace/patterns.hpp"
+
+#include <cmath>
+
+namespace nvmenc {
+
+void ValueMix::validate() const {
+  const double weights[] = {complement, zero,       ones,  small_int,
+                            pointer,    float_pert, random};
+  double sum = 0.0;
+  for (double w : weights) {
+    require(w >= 0.0, "ValueMix weights must be non-negative");
+    sum += w;
+  }
+  require(std::abs(sum - 1.0) < 1e-9, "ValueMix weights must sum to 1");
+}
+
+WordClass assign_word_class(u64 seed, u64 line_addr, usize word,
+                            const ValueMix& mix) {
+  SplitMix64 sm{seed ^ (line_addr * 0x9e3779b97f4a7c15ull) ^
+                (word * 0xda942042e4dd58b5ull)};
+  double u = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  if ((u -= mix.complement) < 0.0) return WordClass::kComplement;
+  if ((u -= mix.zero) < 0.0) return WordClass::kZero;
+  if ((u -= mix.ones) < 0.0) return WordClass::kOnes;
+  if ((u -= mix.small_int) < 0.0) return WordClass::kSmallInt;
+  if ((u -= mix.pointer) < 0.0) return WordClass::kPointer;
+  if ((u -= mix.float_pert) < 0.0) return WordClass::kFloat;
+  return WordClass::kRandom;
+}
+
+u64 initial_class_value(SplitMix64& sm, WordClass cls) {
+  const u64 h = sm.next();
+  switch (cls) {
+    case WordClass::kComplement:
+      return h;
+    case WordClass::kZero:
+      return 0;
+    case WordClass::kOnes:
+      return ~u64{0};
+    case WordClass::kSmallInt:
+      return h & 0xffffu;
+    case WordClass::kPointer:
+      // A heap-like 48-bit address, 8-byte aligned.
+      return (h & 0x00007ffffffffff8ull) | 0x500000000000ull;
+    case WordClass::kFloat: {
+      // A plausible double: positive, exponent near 1023.
+      const u64 mantissa = h & low_mask(52);
+      const u64 exponent = 1020 + (h >> 52) % 8;
+      return (exponent << 52) | mantissa;
+    }
+    case WordClass::kRandom:
+      return h;
+  }
+  return h;
+}
+
+u64 update_class_value(Xoshiro256& rng, WordClass cls, u64 old_value) {
+  u64 v = old_value;
+  switch (cls) {
+    case WordClass::kComplement:
+      v = ~old_value;
+      break;
+    case WordClass::kZero:
+      // Zero-dominated slot: zeroed, or briefly holding a small value.
+      v = old_value == 0 ? (1 + (rng.next() & 0xffu)) : 0;
+      break;
+    case WordClass::kOnes:
+      v = old_value == ~u64{0} ? ~(1 + (rng.next() & 0xffu)) : ~u64{0};
+      break;
+    case WordClass::kSmallInt:
+      v = rng.next() & 0xffffu;
+      break;
+    case WordClass::kPointer:
+      v = (old_value & ~low_mask(24)) | (rng.next() & low_mask(24) & ~u64{7});
+      break;
+    case WordClass::kFloat: {
+      const usize flips = 1 + static_cast<usize>(rng.next_below(4));
+      for (usize i = 0; i < flips; ++i) v ^= u64{1} << rng.next_below(20);
+      break;
+    }
+    case WordClass::kRandom:
+      v = rng.next();
+      break;
+  }
+  if (v == old_value) v ^= 1;  // a modified word must actually change
+  return v;
+}
+
+CacheLine initial_line(u64 line_addr, u64 seed, const ValueMix& mix,
+                       double zero_word_bias) {
+  CacheLine line;
+  for (usize w = 0; w < kWordsPerLine; ++w) {
+    SplitMix64 sm{seed ^ (line_addr * 0x9e3779b97f4a7c15ull) ^ w};
+    const u64 h = sm.next();
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    if (u < zero_word_bias) {
+      line.set_word(w, 0);
+      continue;
+    }
+    const WordClass cls = assign_word_class(seed, line_addr, w, mix);
+    line.set_word(w, initial_class_value(sm, cls));
+  }
+  return line;
+}
+
+}  // namespace nvmenc

@@ -1,0 +1,70 @@
+// Word-value generation models.
+//
+// The bit-flip behaviour of an encoder is a function of how new word
+// values correlate with old ones. Real memory locations have stable types
+// — a loop counter stays a small integer, a double stays a double, a
+// pointer keeps its high bits — so the model assigns every word *slot* a
+// persistent value class (a pure hash of seed, line address and word
+// index, weighted by the profile's ValueMix) and draws updates within
+// that class. The classes capture the correlations the paper leans on:
+// frequent values 0x00../0xFF.. [HyComp, CompEx], bitwise-complement
+// rewrites ("sequential flips", Section 3.2.1), pointer and float
+// locality, and uniform noise.
+#pragma once
+
+#include "common/cache_line.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace nvmenc {
+
+/// Mixture weights over value classes, used as slot-class assignment
+/// probabilities. Weights must be non-negative and sum to 1 (validated).
+struct ValueMix {
+  double complement = 0.0;  ///< toggling flag word: new = ~old
+  double zero = 0.0;        ///< zero-dominated word: toggles 0 <-> small
+  double ones = 0.0;        ///< 0xFF..-dominated word: toggles ~0 <-> ~small
+  double small_int = 0.0;   ///< counter/index: uniform in [0, 2^16)
+  double pointer = 0.0;     ///< keeps high 40 bits, randomizes low 24
+  double float_pert = 0.0;  ///< flips a few of the low 20 mantissa bits
+  double random = 0.0;      ///< high-entropy payload: fresh 64-bit value
+
+  void validate() const;
+};
+
+enum class WordClass : u8 {
+  kComplement,
+  kZero,
+  kOnes,
+  kSmallInt,
+  kPointer,
+  kFloat,
+  kRandom,
+};
+
+/// Persistent class of word `word` of line `line_addr`: a pure function of
+/// (seed, line_addr, word) weighted by `mix`.
+[[nodiscard]] WordClass assign_word_class(u64 seed, u64 line_addr,
+                                          usize word, const ValueMix& mix);
+
+/// Pristine value of a slot of the given class (pure function of the
+/// hash stream `sm`).
+[[nodiscard]] u64 initial_class_value(SplitMix64& sm, WordClass cls);
+
+/// Draws the slot's next value after an update, given its current value.
+/// Guaranteed to differ from `old_value` in at least one bit for every
+/// class (modified words really are modified).
+[[nodiscard]] u64 update_class_value(Xoshiro256& rng, WordClass cls,
+                                     u64 old_value);
+
+/// Deterministic initial memory image: every word of `line_addr` holds the
+/// pristine value of its class, except that with probability
+/// `zero_word_bias` a slot starts zeroed (untouched/zero-page memory).
+/// The workload generator and the NVM backing store both use this function
+/// so their views of pristine memory agree.
+[[nodiscard]] CacheLine initial_line(u64 line_addr, u64 seed,
+                                     const ValueMix& mix,
+                                     double zero_word_bias);
+
+}  // namespace nvmenc

@@ -1,0 +1,171 @@
+#include "trace/profile.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace nvmenc {
+
+void WorkloadProfile::validate() const {
+  require(!name.empty(), "WorkloadProfile needs a name");
+  double sum = 0.0;
+  for (double p : dirty_word_pmf) {
+    require(p >= 0.0, "dirty_word_pmf entries must be non-negative");
+    sum += p;
+  }
+  require(std::abs(sum - 1.0) < 1e-9, "dirty_word_pmf must sum to 1");
+  mix.validate();
+  require(working_set_lines > 0, "working set must be non-empty");
+  require(hot_fraction > 0.0 && hot_fraction <= 1.0,
+          "hot_fraction must be in (0, 1]");
+  require(hot_access_prob >= 0.0 && hot_access_prob <= 1.0,
+          "hot_access_prob must be in [0, 1]");
+  require(reads_per_episode >= 0.0, "reads_per_episode must be >= 0");
+  require(zero_word_bias >= 0.0 && zero_word_bias <= 1.0,
+          "zero_word_bias must be in [0, 1]");
+}
+
+double WorkloadProfile::expected_dirty_words() const {
+  double e = 0.0;
+  for (usize k = 0; k < dirty_word_pmf.size(); ++k) {
+    e += static_cast<double>(k) * dirty_word_pmf[k];
+  }
+  return e;
+}
+
+namespace {
+
+// Calibration targets (DESIGN.md §2): per-benchmark dirty-word
+// distributions reproduce Figure 2's shape — bwaves ~60% silent
+// write-backs and ~8% tag utilization, xalancbmk ~90% of lines with 7-8
+// dirty words and ~93% utilization, fleet-average utilization near 57%.
+// Value mixes encode the benchmark's dominant data types; sjeng carries the
+// paper's 11.7% byte-level sequential-flip observation via a high
+// complement weight.
+WorkloadProfile make(std::string name,
+                     std::array<double, kWordsPerLine + 1> pmf, ValueMix mix,
+                     double zero_bias, usize ws_lines = usize{1} << 15,
+                     double hot_frac = 0.1, double hot_prob = 0.6) {
+  WorkloadProfile p;
+  p.name = std::move(name);
+  p.dirty_word_pmf = pmf;
+  p.mix = mix;
+  p.zero_word_bias = zero_bias;
+  p.working_set_lines = ws_lines;
+  p.hot_fraction = hot_frac;
+  p.hot_access_prob = hot_prob;
+  p.validate();
+  return p;
+}
+
+std::vector<WorkloadProfile> build_spec_profiles() {
+  std::vector<WorkloadProfile> v;
+  // bwaves: FP streaming; dominated by silent write-backs (Fig. 2: ~60%
+  // zero-dirty lines, 8% tag utilization).
+  v.push_back(make(
+      "bwaves", {0.60, 0.25, 0.10, 0.05, 0, 0, 0, 0, 0},
+      {.complement = 0.005, .zero = 0.15, .ones = 0.02, .small_int = 0.05,
+       .pointer = 0.05, .float_pert = 0.525, .random = 0.20},
+      0.30, usize{1} << 16, 0.05, 0.3));
+  // cactusADM: FP stencil, moderate dirtiness.
+  v.push_back(make(
+      "cactusADM",
+      {0.10, 0.10, 0.15, 0.15, 0.15, 0.10, 0.10, 0.08, 0.07},
+      {.complement = 0.01, .zero = 0.10, .ones = 0.02, .small_int = 0.05,
+       .pointer = 0.05, .float_pert = 0.57, .random = 0.20},
+      0.25));
+  // milc: lattice QCD, wide lines mostly rewritten, high-entropy FP.
+  v.push_back(make(
+      "milc", {0.03, 0.05, 0.06, 0.08, 0.10, 0.12, 0.16, 0.20, 0.20},
+      {.complement = 0.01, .zero = 0.08, .ones = 0.02, .small_int = 0.05,
+       .pointer = 0.05, .float_pert = 0.54, .random = 0.25},
+      0.25));
+  // sjeng: chess bitboards; few dirty words and the paper's standout
+  // sequential-flip rate (~11.7% of writes at byte granularity).
+  v.push_back(make(
+      "sjeng", {0.30, 0.25, 0.15, 0.10, 0.08, 0.05, 0.04, 0.02, 0.01},
+      {.complement = 0.12, .zero = 0.15, .ones = 0.05, .small_int = 0.20,
+       .pointer = 0.18, .float_pert = 0.00, .random = 0.30},
+      0.40));
+  // wrf: FP weather model.
+  v.push_back(make(
+      "wrf", {0.05, 0.06, 0.08, 0.10, 0.12, 0.14, 0.15, 0.15, 0.15},
+      {.complement = 0.01, .zero = 0.10, .ones = 0.02, .small_int = 0.05,
+       .pointer = 0.05, .float_pert = 0.47, .random = 0.30},
+      0.25));
+  // bzip2: compressed, near-random payloads, most words modified.
+  v.push_back(make(
+      "bzip2", {0.04, 0.04, 0.05, 0.07, 0.10, 0.12, 0.15, 0.20, 0.23},
+      {.complement = 0.01, .zero = 0.05, .ones = 0.01, .small_int = 0.08,
+       .pointer = 0.05, .float_pert = 0.00, .random = 0.80},
+      0.15));
+  // gcc: integer/pointer churn with many zeros and small immediates.
+  v.push_back(make(
+      "gcc", {0.08, 0.08, 0.10, 0.10, 0.12, 0.12, 0.13, 0.13, 0.14},
+      {.complement = 0.015, .zero = 0.18, .ones = 0.02, .small_int = 0.235,
+       .pointer = 0.25, .float_pert = 0.00, .random = 0.30},
+      0.40));
+  // omnetpp: discrete-event simulator, pointer-rich heap traffic.
+  v.push_back(make(
+      "omnetpp", {0.03, 0.04, 0.05, 0.06, 0.08, 0.10, 0.14, 0.22, 0.28},
+      {.complement = 0.01, .zero = 0.12, .ones = 0.02, .small_int = 0.15,
+       .pointer = 0.40, .float_pert = 0.00, .random = 0.30},
+      0.35));
+  // xalancbmk: XML transformation; Fig. 2's high extreme (90% of lines
+  // with 7-8 dirty words, 93% utilization).
+  v.push_back(make(
+      "xalancbmk", {0.01, 0.01, 0.01, 0.01, 0.02, 0.02, 0.02, 0.28, 0.62},
+      {.complement = 0.01, .zero = 0.08, .ones = 0.02, .small_int = 0.10,
+       .pointer = 0.39, .float_pert = 0.00, .random = 0.40},
+      0.30));
+  // leslie3d: FP CFD.
+  v.push_back(make(
+      "leslie3d", {0.04, 0.05, 0.06, 0.08, 0.10, 0.12, 0.15, 0.20, 0.20},
+      {.complement = 0.01, .zero = 0.10, .ones = 0.02, .small_int = 0.05,
+       .pointer = 0.05, .float_pert = 0.47, .random = 0.30},
+      0.25));
+  // gromacs: molecular dynamics, small incremental FP updates.
+  v.push_back(make(
+      "gromacs", {0.15, 0.15, 0.15, 0.12, 0.10, 0.10, 0.09, 0.07, 0.07},
+      {.complement = 0.01, .zero = 0.10, .ones = 0.02, .small_int = 0.05,
+       .pointer = 0.05, .float_pert = 0.57, .random = 0.20},
+      0.25));
+  // sphinx3: speech recognition, mixed FP/int.
+  v.push_back(make(
+      "sphinx3", {0.06, 0.06, 0.08, 0.10, 0.12, 0.13, 0.15, 0.15, 0.15},
+      {.complement = 0.015, .zero = 0.10, .ones = 0.02, .small_int = 0.10,
+       .pointer = 0.05, .float_pert = 0.415, .random = 0.30},
+      0.30));
+  return v;
+}
+
+}  // namespace
+
+const std::vector<WorkloadProfile>& spec2006_profiles() {
+  static const std::vector<WorkloadProfile> profiles = build_spec_profiles();
+  return profiles;
+}
+
+const WorkloadProfile& profile_by_name(const std::string& name) {
+  for (const WorkloadProfile& p : spec2006_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw std::invalid_argument("unknown workload profile: " + name);
+}
+
+WorkloadProfile uniform_profile(usize working_set_lines) {
+  WorkloadProfile p;
+  p.name = "uniform";
+  p.dirty_word_pmf = {0, 0, 0, 0, 0, 0, 0, 0, 1.0};
+  p.mix = {.complement = 0, .zero = 0, .ones = 0, .small_int = 0,
+           .pointer = 0, .float_pert = 0, .random = 1.0};
+  p.working_set_lines = working_set_lines;
+  p.hot_fraction = 1.0;
+  p.hot_access_prob = 0.0;
+  p.reads_per_episode = 0.0;
+  p.zero_word_bias = 0.0;
+  p.validate();
+  return p;
+}
+
+}  // namespace nvmenc

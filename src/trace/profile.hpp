@@ -1,0 +1,68 @@
+// WorkloadProfile: per-benchmark knobs of the synthetic workload model.
+//
+// The paper evaluates twelve memory-intensive SPEC CPU 2006 benchmarks
+// through gem5. SPEC traces are not available here; instead each benchmark
+// is modelled by the statistics the paper itself reports about it (see
+// DESIGN.md, "Substitutions"):
+//   * the distribution of dirty words per written-back line (Figure 2);
+//   * the frequency of sequential-flip (complement) rewrites (Section
+//     3.2.1, e.g. sjeng: 11.7% of writes);
+//   * value-locality classes (frequent values 0x00/0xFF, pointers, floats).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/patterns.hpp"
+
+namespace nvmenc {
+
+struct WorkloadProfile {
+  std::string name;
+
+  /// Target distribution of the number of modified words a store episode
+  /// touches in one line (index 0..8). Index 0 models silent write-backs:
+  /// the line is dirtied by rewriting identical values.
+  std::array<double, kWordsPerLine + 1> dirty_word_pmf{};
+
+  /// Value classes drawn for each modified word.
+  ValueMix mix;
+
+  /// Footprint in cache lines. Must exceed the simulated LLC to generate
+  /// eviction traffic.
+  usize working_set_lines = 1 << 15;
+
+  /// Fraction of the working set forming the hot subset, and the
+  /// probability an episode lands in it (temporal locality model).
+  double hot_fraction = 0.1;
+  double hot_access_prob = 0.6;
+
+  /// Number of interleaved read accesses per store episode (rounded
+  /// stochastically).
+  double reads_per_episode = 2.0;
+
+  /// Probability that a pristine word of the image is zero (zero pages /
+  /// frequent-value bias of the benchmark's data segment).
+  double zero_word_bias = 0.3;
+
+  void validate() const;
+
+  /// Expected number of truly-modified words per episode.
+  [[nodiscard]] double expected_dirty_words() const;
+};
+
+/// The twelve SPEC CPU 2006 stand-in profiles used throughout the paper's
+/// evaluation, in the order the figures plot them: bwaves, cactusADM, milc,
+/// sjeng, wrf, bzip2, gcc, omnetpp, xalancbmk, leslie3d, gromacs, sphinx3.
+[[nodiscard]] const std::vector<WorkloadProfile>& spec2006_profiles();
+
+/// Looks a profile up by name; throws std::invalid_argument if unknown.
+[[nodiscard]] const WorkloadProfile& profile_by_name(const std::string& name);
+
+/// Fully random workload: uniform values, all words dirty. Matches the
+/// "random input data" setting of the theoretical analyses (Figure 3).
+[[nodiscard]] WorkloadProfile uniform_profile(usize working_set_lines = 4096);
+
+}  // namespace nvmenc

@@ -1,0 +1,111 @@
+#include "trace/synthetic.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace nvmenc {
+
+namespace {
+/// Working sets start at a non-zero base so that address arithmetic bugs
+/// (line 0 vs "no line") surface in tests.
+constexpr u64 kBaseAddr = u64{1} << 30;
+}  // namespace
+
+SyntheticWorkload::SyntheticWorkload(WorkloadProfile profile, u64 seed)
+    : profile_{std::move(profile)}, seed_{seed}, rng_{seed} {
+  profile_.validate();
+  pmf_cdf_.reserve(profile_.dirty_word_pmf.size());
+  double acc = 0.0;
+  for (double p : profile_.dirty_word_pmf) {
+    acc += p;
+    pmf_cdf_.push_back(acc);
+  }
+  pmf_cdf_.back() = 1.0;  // guard against rounding
+}
+
+CacheLine SyntheticWorkload::initial_line(u64 line_addr) const {
+  return nvmenc::initial_line(line_addr, seed_ ^ 0x1717141113ull,
+                              profile_.mix, profile_.zero_word_bias);
+}
+
+CacheLine& SyntheticWorkload::image_line(u64 line_addr) {
+  auto it = image_.find(line_addr);
+  if (it == image_.end()) {
+    it = image_.emplace(line_addr, initial_line(line_addr)).first;
+  }
+  return it->second;
+}
+
+u64 SyntheticWorkload::pick_line_addr() {
+  const usize n = profile_.working_set_lines;
+  const usize hot_n = std::max<usize>(
+      1, static_cast<usize>(profile_.hot_fraction *
+                            static_cast<double>(n)));
+  usize idx;
+  if (rng_.next_bool(profile_.hot_access_prob)) {
+    idx = static_cast<usize>(rng_.next_below(hot_n));
+  } else {
+    idx = static_cast<usize>(rng_.next_below(n));
+  }
+  return kBaseAddr + static_cast<u64>(idx) * kLineBytes;
+}
+
+usize SyntheticWorkload::sample_dirty_words() {
+  const double u = rng_.next_double();
+  for (usize k = 0; k < pmf_cdf_.size(); ++k) {
+    if (u < pmf_cdf_[k]) return k;
+  }
+  return pmf_cdf_.size() - 1;
+}
+
+void SyntheticWorkload::refill() {
+  // Interleave reads before the store burst.
+  const double r = profile_.reads_per_episode;
+  usize reads = static_cast<usize>(r);
+  if (rng_.next_bool(r - static_cast<double>(reads))) ++reads;
+  for (usize i = 0; i < reads; ++i) {
+    const u64 line = pick_line_addr();
+    const u64 word = rng_.next_below(kWordsPerLine);
+    pending_.push_back({line + word * 8, Op::kRead, 0});
+  }
+
+  const u64 line = pick_line_addr();
+  CacheLine& cur = image_line(line);
+  const usize dirty_words = sample_dirty_words();
+
+  if (dirty_words == 0) {
+    // Silent write-back: rewrite one word with its current value. The line
+    // becomes dirty in the cache yet identical to memory on eviction.
+    const usize w = static_cast<usize>(rng_.next_below(kWordsPerLine));
+    pending_.push_back({line + w * 8, Op::kWrite, cur.word(w)});
+    return;
+  }
+
+  // Choose `dirty_words` distinct word slots (partial Fisher-Yates).
+  std::array<usize, kWordsPerLine> slots{};
+  for (usize i = 0; i < kWordsPerLine; ++i) slots[i] = i;
+  for (usize i = 0; i < dirty_words; ++i) {
+    const usize j =
+        i + static_cast<usize>(rng_.next_below(kWordsPerLine - i));
+    std::swap(slots[i], slots[j]);
+  }
+
+  for (usize i = 0; i < dirty_words; ++i) {
+    const usize w = slots[i];
+    const WordClass cls =
+        assign_word_class(seed_ ^ 0x1717141113ull, line, w, profile_.mix);
+    const u64 value = update_class_value(rng_, cls, cur.word(w));
+    cur.set_word(w, value);
+    pending_.push_back({line + w * 8, Op::kWrite, value});
+  }
+}
+
+MemAccess SyntheticWorkload::next() {
+  while (pending_.empty()) refill();
+  const MemAccess a = pending_.front();
+  pending_.pop_front();
+  return a;
+}
+
+}  // namespace nvmenc

@@ -1,0 +1,90 @@
+#include "trace/text_trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace nvmenc {
+
+namespace {
+
+[[noreturn]] void fail(usize line_number, const std::string& what) {
+  throw std::runtime_error("text trace line " + std::to_string(line_number) +
+                           ": " + what);
+}
+
+u64 parse_hex(const std::string& token, usize line_number) {
+  if (token.empty()) fail(line_number, "missing hex field");
+  usize pos = 0;
+  u64 value = 0;
+  try {
+    value = std::stoull(token, &pos, 16);
+  } catch (const std::exception&) {
+    fail(line_number, "bad hex value '" + token + "'");
+  }
+  if (pos != token.size()) {
+    fail(line_number, "trailing junk in '" + token + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_text_trace(std::ostream& os, const std::vector<MemAccess>& trace) {
+  os << "# nvmenc text trace: R <addr> | W <addr> <value>\n";
+  os << std::hex;
+  for (const MemAccess& a : trace) {
+    if (a.op == Op::kRead) {
+      os << "R " << a.addr << '\n';
+    } else {
+      os << "W " << a.addr << ' ' << a.value << '\n';
+    }
+  }
+  os << std::dec;
+}
+
+void write_text_trace(const std::string& path,
+                      const std::vector<MemAccess>& trace) {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error("cannot open trace output: " + path);
+  write_text_trace(out, trace);
+}
+
+std::vector<MemAccess> read_text_trace(std::istream& is) {
+  std::vector<MemAccess> trace;
+  std::string line;
+  usize line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    const usize comment = line.find('#');
+    if (comment != std::string::npos) line.resize(comment);
+    std::istringstream fields{line};
+    std::string op;
+    if (!(fields >> op)) continue;  // blank line
+
+    std::string addr_token;
+    if (!(fields >> addr_token)) fail(line_number, "missing address");
+    const u64 addr = parse_hex(addr_token, line_number);
+    if (addr % 8 != 0) fail(line_number, "address not 8-byte aligned");
+
+    if (op == "R" || op == "r") {
+      trace.push_back({addr, Op::kRead, 0});
+    } else if (op == "W" || op == "w") {
+      std::string value_token;
+      if (!(fields >> value_token)) fail(line_number, "missing write value");
+      trace.push_back({addr, Op::kWrite, parse_hex(value_token, line_number)});
+    } else {
+      fail(line_number, "unknown op '" + op + "'");
+    }
+    std::string extra;
+    if (fields >> extra) fail(line_number, "trailing junk '" + extra + "'");
+  }
+  return trace;
+}
+
+std::vector<MemAccess> read_text_trace(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error("cannot open trace input: " + path);
+  return read_text_trace(in);
+}
+
+}  // namespace nvmenc

@@ -1,0 +1,32 @@
+// Human-readable trace format (gem5/NVMain-style interchange).
+//
+// One access per line:
+//
+//     R <hex-address>
+//     W <hex-address> <hex-value>
+//
+// '#' starts a comment; blank lines are skipped. Addresses are byte
+// addresses of 64-bit words (8-byte aligned); values are the 64-bit word
+// written. This is the format external tools can most easily produce; the
+// binary format (trace_io.hpp) is the compact internal one.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/access.hpp"
+
+namespace nvmenc {
+
+void write_text_trace(std::ostream& os, const std::vector<MemAccess>& trace);
+void write_text_trace(const std::string& path,
+                      const std::vector<MemAccess>& trace);
+
+/// Throws std::runtime_error with the offending line number on malformed
+/// input (bad opcode, unparsable hex, misaligned address).
+[[nodiscard]] std::vector<MemAccess> read_text_trace(std::istream& is);
+[[nodiscard]] std::vector<MemAccess> read_text_trace(
+    const std::string& path);
+
+}  // namespace nvmenc

@@ -1,0 +1,86 @@
+#include "trace/trace_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace nvmenc {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'N', 'V', 'M', 'T',
+                                        'R', 'A', 'C', 'E'};
+constexpr u32 kVersion = 1;
+
+void put_u64(std::ostream& os, u64 v) {
+  std::array<char, 8> b{};
+  for (usize i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  os.write(b.data(), 8);
+}
+
+u64 get_u64(std::istream& is) {
+  std::array<char, 8> b{};
+  is.read(b.data(), 8);
+  u64 v = 0;
+  for (usize i = 0; i < 8; ++i) {
+    v |= static_cast<u64>(static_cast<u8>(b[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const std::vector<MemAccess>& trace) {
+  os.write(kMagic.data(), kMagic.size());
+  put_u64(os, (static_cast<u64>(kVersion) << 32) |
+                  0u);  // version in high word, reserved low word
+  put_u64(os, trace.size());
+  for (const MemAccess& a : trace) {
+    put_u64(os, a.addr);
+    const char op = static_cast<char>(a.op);
+    os.write(&op, 1);
+    put_u64(os, a.value);
+  }
+  if (!os) throw std::runtime_error("trace write failed");
+}
+
+void write_trace(const std::string& path, const std::vector<MemAccess>& trace) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) throw std::runtime_error("cannot open trace output: " + path);
+  write_trace(out, trace);
+}
+
+std::vector<MemAccess> read_trace(std::istream& is) {
+  std::array<char, 8> magic{};
+  is.read(magic.data(), magic.size());
+  if (!is || magic != kMagic) throw std::runtime_error("bad trace magic");
+  const u64 version_word = get_u64(is);
+  if ((version_word >> 32) != kVersion) {
+    throw std::runtime_error("unsupported trace version");
+  }
+  const u64 count = get_u64(is);
+  std::vector<MemAccess> trace;
+  trace.reserve(count);
+  for (u64 i = 0; i < count; ++i) {
+    MemAccess a;
+    a.addr = get_u64(is);
+    char op = 0;
+    is.read(&op, 1);
+    a.op = op == 0 ? Op::kRead : Op::kWrite;
+    a.value = get_u64(is);
+    if (!is) throw std::runtime_error("truncated trace file");
+    trace.push_back(a);
+  }
+  return trace;
+}
+
+std::vector<MemAccess> read_trace(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error("cannot open trace input: " + path);
+  return read_trace(in);
+}
+
+}  // namespace nvmenc

@@ -1,0 +1,27 @@
+// Binary trace files.
+//
+// Generated workloads can be captured to disk and replayed, which (a) lets
+// expensive generator configurations be reused across schemes and (b)
+// matches the trace-driven workflow of gem5/NVMain-style studies. Format:
+// a 16-byte header (magic "NVMTRACE", version, record count) followed by
+// packed little-endian records {u64 addr, u8 op, u64 value}.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/access.hpp"
+
+namespace nvmenc {
+
+/// Writes the full access vector; throws std::runtime_error on I/O failure.
+void write_trace(const std::string& path, const std::vector<MemAccess>& trace);
+void write_trace(std::ostream& os, const std::vector<MemAccess>& trace);
+
+/// Reads a trace file written by write_trace; throws std::runtime_error on
+/// I/O failure or malformed header.
+[[nodiscard]] std::vector<MemAccess> read_trace(const std::string& path);
+[[nodiscard]] std::vector<MemAccess> read_trace(std::istream& is);
+
+}  // namespace nvmenc

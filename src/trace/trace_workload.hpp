@@ -1,0 +1,45 @@
+// TraceWorkload: replays a recorded access vector as a WorkloadGenerator.
+//
+// For captured or externally produced traces (trace_io.hpp /
+// text_trace.hpp). Pristine memory is all-zero by convention — external
+// formats carry no initial image — so flip statistics of the first write
+// to each line reflect a cold device, exactly like a trace-driven NVMain
+// run.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "trace/workload.hpp"
+
+namespace nvmenc {
+
+class TraceWorkload final : public WorkloadGenerator {
+ public:
+  explicit TraceWorkload(std::vector<MemAccess> trace,
+                         std::string name = "trace")
+      : trace_{std::move(trace)}, name_{std::move(name)} {
+    require(!trace_.empty(), "trace must be non-empty");
+  }
+
+  /// Wraps around at the end of the trace (callers normally drive exactly
+  /// size() accesses).
+  MemAccess next() override {
+    const MemAccess access = trace_[pos_];
+    pos_ = (pos_ + 1) % trace_.size();
+    return access;
+  }
+
+  [[nodiscard]] CacheLine initial_line(u64) const override { return {}; }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] usize size() const noexcept { return trace_.size(); }
+
+ private:
+  std::vector<MemAccess> trace_;
+  usize pos_ = 0;
+  std::string name_;
+};
+
+}  // namespace nvmenc

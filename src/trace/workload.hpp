@@ -1,0 +1,27 @@
+// WorkloadGenerator: the abstract source of CPU accesses.
+//
+// A workload is an infinite stream of word-granularity accesses plus a
+// definition of the pristine memory image (so that the cache hierarchy and
+// the NVM backing store agree on what an untouched line contains).
+#pragma once
+
+#include "common/cache_line.hpp"
+#include "trace/access.hpp"
+
+namespace nvmenc {
+
+class WorkloadGenerator {
+ public:
+  virtual ~WorkloadGenerator() = default;
+
+  /// Produces the next access in the stream.
+  virtual MemAccess next() = 0;
+
+  /// Contents of `line_addr` before the workload's first write to it.
+  [[nodiscard]] virtual CacheLine initial_line(u64 line_addr) const = 0;
+
+  /// Human-readable name ("bwaves", "uniform", ...).
+  [[nodiscard]] virtual const std::string& name() const = 0;
+};
+
+}  // namespace nvmenc

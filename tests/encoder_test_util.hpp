@@ -1,0 +1,117 @@
+// Shared helpers for the encoder test suites: line generators covering the
+// adversarial write classes the paper's analysis leans on, and a generic
+// round-trip driver asserting decode(encode(x)) == x plus the base-class
+// flip-accounting invariants.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "common/cache_line.hpp"
+#include "common/rng.hpp"
+#include "encoding/encoder.hpp"
+
+namespace nvmenc::testutil {
+
+inline CacheLine random_line(Xoshiro256& rng) {
+  CacheLine line;
+  for (usize w = 0; w < kWordsPerLine; ++w) line.set_word(w, rng.next());
+  return line;
+}
+
+/// Write classes used by the property sweeps.
+enum class WriteClass {
+  kRandom,      ///< fresh uniform line
+  kSilent,      ///< identical to the previous logical line
+  kComplement,  ///< bitwise complement (the "sequential flips" case)
+  kSparse,      ///< one word modified, others clean
+  kHalfDirty,   ///< four words modified
+  kFrequent,    ///< words from {0, ~0, small ints}
+};
+
+inline CacheLine next_line(Xoshiro256& rng, const CacheLine& prev,
+                           WriteClass wc) {
+  switch (wc) {
+    case WriteClass::kRandom:
+      return random_line(rng);
+    case WriteClass::kSilent:
+      return prev;
+    case WriteClass::kComplement:
+      return ~prev;
+    case WriteClass::kSparse: {
+      CacheLine line = prev;
+      line.set_word(rng.next_below(kWordsPerLine), rng.next());
+      return line;
+    }
+    case WriteClass::kHalfDirty: {
+      CacheLine line = prev;
+      for (usize i = 0; i < 4; ++i) {
+        line.set_word(rng.next_below(kWordsPerLine), rng.next());
+      }
+      return line;
+    }
+    case WriteClass::kFrequent: {
+      CacheLine line;
+      for (usize w = 0; w < kWordsPerLine; ++w) {
+        switch (rng.next_below(3)) {
+          case 0: line.set_word(w, 0); break;
+          case 1: line.set_word(w, ~u64{0}); break;
+          default: line.set_word(w, rng.next() & 0xFFFF); break;
+        }
+      }
+      return line;
+    }
+  }
+  return prev;
+}
+
+inline const char* write_class_name(WriteClass wc) {
+  switch (wc) {
+    case WriteClass::kRandom: return "random";
+    case WriteClass::kSilent: return "silent";
+    case WriteClass::kComplement: return "complement";
+    case WriteClass::kSparse: return "sparse";
+    case WriteClass::kHalfDirty: return "half-dirty";
+    case WriteClass::kFrequent: return "frequent";
+  }
+  return "?";
+}
+
+inline constexpr WriteClass kAllWriteClasses[] = {
+    WriteClass::kRandom,     WriteClass::kSilent, WriteClass::kComplement,
+    WriteClass::kSparse,     WriteClass::kHalfDirty,
+    WriteClass::kFrequent};
+
+/// Drives `iters` writes of mixed classes through the encoder, asserting
+/// after each: decode round-trip, flip split consistency, and direction
+/// split consistency. Returns total flips (for comparative assertions).
+inline usize exercise_encoder(const Encoder& enc, u64 seed, int iters = 300) {
+  Xoshiro256 rng{seed};
+  CacheLine logical = random_line(rng);
+  StoredLine stored = enc.make_stored(logical);
+  EXPECT_EQ(enc.decode(stored), logical) << enc.name() << ": pristine decode";
+
+  usize total = 0;
+  for (int i = 0; i < iters; ++i) {
+    const WriteClass wc =
+        kAllWriteClasses[rng.next_below(std::size(kAllWriteClasses))];
+    logical = next_line(rng, logical, wc);
+    const StoredLine before = stored;
+    const FlipBreakdown fb = enc.encode(stored, logical);
+    EXPECT_EQ(enc.decode(stored), logical)
+        << enc.name() << ": decode mismatch after " << write_class_name(wc)
+        << " write, iter " << i;
+    if (enc.decode(stored) != logical) return total;  // don't cascade
+    // The breakdown is measured by the base class; these invariants check
+    // it is internally consistent and equals the true stored-image delta.
+    EXPECT_EQ(fb.sets + fb.resets, fb.total());
+    usize image_delta = before.data.hamming(stored.data);
+    for (usize b = 0; b < before.meta.size(); ++b) {
+      image_delta += before.meta.bit(b) != stored.meta.bit(b);
+    }
+    EXPECT_EQ(fb.total(), image_delta) << enc.name();
+    total += fb.total();
+  }
+  return total;
+}
+
+}  // namespace nvmenc::testutil

@@ -1,0 +1,117 @@
+#include "compress/bdi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace nvmenc {
+namespace {
+
+TEST(Bdi, ZeroLine) {
+  const BitBuf stream = bdi_compress_line(CacheLine{});
+  EXPECT_EQ(stream.size(), 4u);
+  EXPECT_EQ(bdi_decompress_line(stream), CacheLine{});
+  EXPECT_EQ(bdi_compressed_bits(CacheLine{}), 4u);
+}
+
+TEST(Bdi, RepeatedWord) {
+  const CacheLine line = CacheLine::filled(0xDEADBEEFCAFEF00Dull);
+  const BitBuf stream = bdi_compress_line(line);
+  EXPECT_EQ(stream.size(), 4u + 64);
+  EXPECT_EQ(bdi_decompress_line(stream), line);
+}
+
+TEST(Bdi, Base8Delta1) {
+  CacheLine line;
+  const u64 base = 0x1000000000ull;
+  for (usize w = 0; w < kWordsPerLine; ++w) {
+    line.set_word(w, base + w * 7);  // deltas fit 8 signed bits
+  }
+  const BitBuf stream = bdi_compress_line(line);
+  EXPECT_EQ(stream.size(), 4u + 64 + 8 * 8);
+  EXPECT_EQ(bdi_decompress_line(stream), line);
+}
+
+TEST(Bdi, NegativeDeltas) {
+  CacheLine line;
+  const u64 base = 0x1000000000ull;
+  for (usize w = 0; w < kWordsPerLine; ++w) {
+    line.set_word(w, base - w * 3);  // negative deltas from the base
+  }
+  const BitBuf stream = bdi_compress_line(line);
+  EXPECT_EQ(stream.size(), 4u + 64 + 8 * 8);
+  EXPECT_EQ(bdi_decompress_line(stream), line);
+}
+
+TEST(Bdi, Base4Delta1PointerArray) {
+  // Sixteen 32-bit values within a 127-byte window: b4d1 applies (164
+  // bits), well under half the line.
+  CacheLine line;
+  for (usize i = 0; i < 16; ++i) {
+    deposit_bits(line.words(), i * 32, 32, 0x40000000u + i * 4);
+  }
+  const BitBuf stream = bdi_compress_line(line);
+  EXPECT_EQ(stream.size(), 4u + 32 + 16 * 8);
+  EXPECT_LT(stream.size(), kLineBits / 2);
+  EXPECT_EQ(bdi_decompress_line(stream), line);
+}
+
+TEST(Bdi, IncompressibleFallsBackToRaw) {
+  Xoshiro256 rng{43};
+  CacheLine line;
+  for (usize w = 0; w < kWordsPerLine; ++w) line.set_word(w, rng.next());
+  const BitBuf stream = bdi_compress_line(line);
+  EXPECT_EQ(stream.size(), 4u + kLineBits);
+  EXPECT_EQ(bdi_decompress_line(stream), line);
+}
+
+TEST(Bdi, CompressedBitsMatchesStreamSize) {
+  Xoshiro256 rng{47};
+  for (int i = 0; i < 300; ++i) {
+    CacheLine line;
+    const u64 base = rng.next();
+    for (usize w = 0; w < kWordsPerLine; ++w) {
+      switch (rng.next_below(3)) {
+        case 0: line.set_word(w, base + (rng.next() & 0x3F)); break;
+        case 1: line.set_word(w, base); break;
+        default: line.set_word(w, rng.next()); break;
+      }
+    }
+    EXPECT_EQ(bdi_compressed_bits(line), bdi_compress_line(line).size());
+  }
+}
+
+TEST(Bdi, RandomLinesRoundTrip) {
+  Xoshiro256 rng{53};
+  for (int i = 0; i < 500; ++i) {
+    CacheLine line;
+    const u64 base = rng.next();
+    for (usize w = 0; w < kWordsPerLine; ++w) {
+      switch (rng.next_below(4)) {
+        case 0: line.set_word(w, 0); break;
+        case 1: line.set_word(w, base + (rng.next() & 0xFF)); break;
+        case 2: line.set_word(w, base); break;
+        default: line.set_word(w, rng.next()); break;
+      }
+    }
+    EXPECT_EQ(bdi_decompress_line(bdi_compress_line(line)), line);
+  }
+}
+
+TEST(Bdi, TruncatedStreamThrows) {
+  BitBuf cut;
+  cut.push_bits(2, 4);  // b8d1 id with no payload
+  EXPECT_THROW((void)bdi_decompress_line(cut), std::invalid_argument);
+  BitBuf empty;
+  EXPECT_THROW((void)bdi_decompress_line(empty), std::invalid_argument);
+}
+
+TEST(Bdi, UnknownSchemeIdThrows) {
+  BitBuf stream;
+  stream.push_bits(9, 4);  // ids 8..14 are undefined
+  stream.push_bits(0, 64);
+  EXPECT_THROW((void)bdi_decompress_line(stream), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nvmenc

@@ -1,0 +1,129 @@
+#include "common/bit_buf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace nvmenc {
+namespace {
+
+TEST(BitBuf, StartsEmpty) {
+  BitBuf buf;
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(BitBuf, SizedConstructorZeroFills) {
+  BitBuf buf{100};
+  EXPECT_EQ(buf.size(), 100u);
+  EXPECT_EQ(buf.popcount(), 0u);
+}
+
+TEST(BitBuf, SizedConstructorRejectsOverCapacity) {
+  EXPECT_THROW(BitBuf{BitBuf::kCapacityBits + 1}, std::invalid_argument);
+}
+
+TEST(BitBuf, PushAndReadBits) {
+  BitBuf buf;
+  buf.push_bits(0xABC, 12);
+  buf.push_bit(true);
+  buf.push_bits(0xFFFFFFFFFFFFFFFFull, 64);
+  EXPECT_EQ(buf.size(), 77u);
+  EXPECT_EQ(buf.bits(0, 12), 0xABCu);
+  EXPECT_TRUE(buf.bit(12));
+  EXPECT_EQ(buf.bits(13, 64), ~u64{0});
+}
+
+TEST(BitBuf, PushZeroLengthIsNoop) {
+  BitBuf buf;
+  buf.push_bits(0xFF, 0);
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(BitBuf, OverflowThrows) {
+  BitBuf buf{BitBuf::kCapacityBits};
+  EXPECT_THROW(buf.push_bit(true), std::invalid_argument);
+}
+
+TEST(BitBuf, OutOfRangeReadsThrow) {
+  BitBuf buf{10};
+  EXPECT_THROW((void)buf.bits(5, 6), std::invalid_argument);
+  EXPECT_THROW((void)buf.bit(10), std::invalid_argument);
+}
+
+TEST(BitBuf, SetBitsAndBit) {
+  BitBuf buf{128};
+  buf.set_bits(60, 16, 0xBEEF);
+  EXPECT_EQ(buf.bits(60, 16), 0xBEEFu);
+  buf.set_bit(0, true);
+  EXPECT_TRUE(buf.bit(0));
+}
+
+TEST(BitBuf, FlipRange) {
+  BitBuf buf{100};
+  buf.flip_range(10, 30);
+  EXPECT_EQ(buf.popcount(), 30u);
+  buf.flip_range(10, 30);
+  EXPECT_EQ(buf.popcount(), 0u);
+}
+
+TEST(BitBuf, HammingRange) {
+  BitBuf a{100};
+  BitBuf b{100};
+  b.flip_range(20, 10);
+  EXPECT_EQ(a.hamming(b), 10u);
+  EXPECT_EQ(a.hamming_range(b, 0, 20), 0u);
+  EXPECT_EQ(a.hamming_range(b, 20, 10), 10u);
+  EXPECT_EQ(a.hamming_range(b, 25, 20), 5u);
+}
+
+TEST(BitBuf, EqualityRespectsLengthAndContent) {
+  BitBuf a{64};
+  BitBuf b{64};
+  EXPECT_EQ(a, b);
+  b.set_bit(63, true);
+  EXPECT_NE(a, b);
+  BitBuf c{65};
+  EXPECT_NE(a, c);
+}
+
+TEST(BitBuf, EqualityIgnoresBitsBeyondSize) {
+  // Two buffers that agree on [0, size) are equal regardless of how they
+  // were built.
+  BitBuf a;
+  a.push_bits(0x3, 2);
+  BitBuf b{2};
+  b.set_bit(0, true);
+  b.set_bit(1, true);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitBuf, PopcountPartialWord) {
+  BitBuf buf;
+  buf.push_bits(~u64{0}, 64);
+  buf.push_bits(0x7, 3);
+  EXPECT_EQ(buf.popcount(), 67u);
+}
+
+// Property: random push sequence reads back verbatim.
+TEST(BitBuf, RandomPushReadBack) {
+  Xoshiro256 rng{99};
+  for (int iter = 0; iter < 100; ++iter) {
+    BitBuf buf;
+    std::vector<std::pair<u64, usize>> pieces;
+    while (buf.size() + 64 <= BitBuf::kCapacityBits) {
+      const usize len = 1 + static_cast<usize>(rng.next_below(64));
+      const u64 value = rng.next() & low_mask(len);
+      pieces.emplace_back(value, len);
+      buf.push_bits(value, len);
+    }
+    usize pos = 0;
+    for (const auto& [value, len] : pieces) {
+      EXPECT_EQ(buf.bits(pos, len), value);
+      pos += len;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nvmenc

@@ -1,0 +1,157 @@
+// Unit and property tests for the bit-manipulation kernels every encoder
+// is built from.
+#include "common/bitops.hpp"
+
+#include <array>
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace nvmenc {
+namespace {
+
+TEST(Bitops, PopcountBasics) {
+  EXPECT_EQ(popcount(0u), 0u);
+  EXPECT_EQ(popcount(1u), 1u);
+  EXPECT_EQ(popcount(~u64{0}), 64u);
+  EXPECT_EQ(popcount(0xF0F0F0F0F0F0F0F0ull), 32u);
+}
+
+TEST(Bitops, HammingWords) {
+  EXPECT_EQ(hamming(u64{0}, u64{0}), 0u);
+  EXPECT_EQ(hamming(u64{0}, ~u64{0}), 64u);
+  EXPECT_EQ(hamming(0b1010u, 0b0101u), 4u);
+}
+
+TEST(Bitops, HammingSpans) {
+  const std::array<u64, 3> a{0, ~u64{0}, 0xFFull};
+  const std::array<u64, 3> b{0, 0, 0x0Full};
+  EXPECT_EQ(hamming(std::span<const u64>{a}, std::span<const u64>{b}),
+            64u + 4u);
+}
+
+TEST(Bitops, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(8), 0xFFu);
+  EXPECT_EQ(low_mask(64), ~u64{0});
+}
+
+TEST(Bitops, GetSetFlipBit) {
+  std::array<u64, 2> words{0, 0};
+  set_bit(std::span<u64>{words}, 65, true);
+  EXPECT_TRUE(get_bit(words, 65));
+  EXPECT_EQ(words[1], 2u);
+  flip_bit(std::span<u64>{words}, 65);
+  EXPECT_FALSE(get_bit(words, 65));
+  set_bit(std::span<u64>{words}, 0, true);
+  set_bit(std::span<u64>{words}, 0, false);
+  EXPECT_EQ(words[0], 0u);
+}
+
+TEST(Bitops, ExtractDepositWithinWord) {
+  std::array<u64, 2> words{0x123456789ABCDEF0ull, 0};
+  EXPECT_EQ(extract_bits(words, 4, 8), 0xEFu);
+  deposit_bits(std::span<u64>{words}, 4, 8, 0x55);
+  EXPECT_EQ(extract_bits(words, 4, 8), 0x55u);
+  EXPECT_EQ(extract_bits(words, 0, 4), 0x0u);  // neighbours untouched
+  EXPECT_EQ(extract_bits(words, 12, 4), 0xDu);
+}
+
+TEST(Bitops, ExtractDepositAcrossWordBoundary) {
+  std::array<u64, 2> words{~u64{0}, 0};
+  EXPECT_EQ(extract_bits(words, 60, 8), 0x0Fu);
+  deposit_bits(std::span<u64>{words}, 60, 8, 0xAB);
+  EXPECT_EQ(extract_bits(words, 60, 8), 0xABu);
+  EXPECT_EQ(words[1] & 0xFu, 0xAu);
+}
+
+TEST(Bitops, DepositMasksValue) {
+  std::array<u64, 1> words{0};
+  deposit_bits(std::span<u64>{words}, 0, 4, 0xFFFF);  // only low 4 bits land
+  EXPECT_EQ(words[0], 0xFu);
+}
+
+TEST(Bitops, ExtractDepositFull64) {
+  std::array<u64, 2> words{0, 0};
+  deposit_bits(std::span<u64>{words}, 32, 64, 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(extract_bits(words, 32, 64), 0xDEADBEEFCAFEF00Dull);
+}
+
+TEST(Bitops, HammingRange) {
+  std::array<u64, 2> a{0, 0};
+  std::array<u64, 2> b{~u64{0}, ~u64{0}};
+  EXPECT_EQ(hamming_range(a, b, 0, 128), 128u);
+  EXPECT_EQ(hamming_range(a, b, 60, 8), 8u);
+  EXPECT_EQ(hamming_range(a, a, 60, 8), 0u);
+}
+
+TEST(Bitops, FlipRange) {
+  std::array<u64, 2> words{0, 0};
+  flip_range(std::span<u64>{words}, 60, 8);
+  EXPECT_EQ(words[0], 0xFull << 60);
+  EXPECT_EQ(words[1], 0xFull);
+  flip_range(std::span<u64>{words}, 60, 8);
+  EXPECT_EQ(words[0], 0u);
+  EXPECT_EQ(words[1], 0u);
+}
+
+TEST(Bitops, FloorPow2) {
+  EXPECT_EQ(floor_pow2(1), 1u);
+  EXPECT_EQ(floor_pow2(2), 2u);
+  EXPECT_EQ(floor_pow2(3), 2u);
+  EXPECT_EQ(floor_pow2(31), 16u);
+  EXPECT_EQ(floor_pow2(32), 32u);
+}
+
+TEST(Bitops, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+}
+
+// Property sweep: extract(deposit(x)) == x at every offset/length.
+class ExtractDepositRoundTrip
+    : public ::testing::TestWithParam<std::tuple<usize, usize>> {};
+
+TEST_P(ExtractDepositRoundTrip, RoundTrips) {
+  const auto [pos, len] = GetParam();
+  Xoshiro256 rng{pos * 131 + len};
+  for (int iter = 0; iter < 50; ++iter) {
+    std::array<u64, 4> words{rng.next(), rng.next(), rng.next(), rng.next()};
+    const std::array<u64, 4> before = words;
+    const u64 value = rng.next() & low_mask(len);
+    deposit_bits(std::span<u64>{words}, pos, len, value);
+    EXPECT_EQ(extract_bits(words, pos, len), value);
+    // Bits outside [pos, pos+len) are untouched.
+    for (usize b = 0; b < 256; ++b) {
+      if (b >= pos && b < pos + len) continue;
+      EXPECT_EQ(get_bit(words, b), get_bit(before, b)) << "bit " << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OffsetsAndLengths, ExtractDepositRoundTrip,
+    ::testing::Combine(::testing::Values<usize>(0, 1, 17, 63, 64, 100, 190),
+                       ::testing::Values<usize>(1, 2, 7, 15, 32, 63, 64)));
+
+// Property: hamming_range equals a naive per-bit count.
+TEST(Bitops, HammingRangeMatchesNaive) {
+  Xoshiro256 rng{7};
+  for (int iter = 0; iter < 200; ++iter) {
+    std::array<u64, 4> a{rng.next(), rng.next(), rng.next(), rng.next()};
+    std::array<u64, 4> b{rng.next(), rng.next(), rng.next(), rng.next()};
+    const usize pos = static_cast<usize>(rng.next_below(200));
+    const usize len = 1 + static_cast<usize>(rng.next_below(56));
+    usize naive = 0;
+    for (usize i = pos; i < pos + len; ++i) {
+      naive += get_bit(a, i) != get_bit(b, i);
+    }
+    EXPECT_EQ(hamming_range(a, b, pos, len), naive);
+  }
+}
+
+}  // namespace
+}  // namespace nvmenc

@@ -1,0 +1,92 @@
+#include "common/cache_line.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace nvmenc {
+namespace {
+
+CacheLine random_line(Xoshiro256& rng) {
+  CacheLine line;
+  for (usize w = 0; w < kWordsPerLine; ++w) line.set_word(w, rng.next());
+  return line;
+}
+
+TEST(CacheLine, DefaultIsZero) {
+  CacheLine line;
+  EXPECT_EQ(line.popcount(), 0u);
+  for (usize w = 0; w < kWordsPerLine; ++w) EXPECT_EQ(line.word(w), 0u);
+}
+
+TEST(CacheLine, FilledSetsEveryWord) {
+  const CacheLine line = CacheLine::filled(0xDEADBEEFull);
+  for (usize w = 0; w < kWordsPerLine; ++w) {
+    EXPECT_EQ(line.word(w), 0xDEADBEEFull);
+  }
+}
+
+TEST(CacheLine, WordAccessors) {
+  CacheLine line;
+  line.set_word(3, 42);
+  EXPECT_EQ(line.word(3), 42u);
+  EXPECT_EQ(line.word(2), 0u);
+}
+
+TEST(CacheLine, BitAccessors) {
+  CacheLine line;
+  line.set_bit(200, true);
+  EXPECT_TRUE(line.bit(200));
+  EXPECT_EQ(line.word(3), u64{1} << 8);  // bit 200 = word 3, offset 8
+  line.set_bit(200, false);
+  EXPECT_EQ(line.popcount(), 0u);
+}
+
+TEST(CacheLine, HammingAndXor) {
+  CacheLine a;
+  CacheLine b;
+  b.set_word(0, 0xFF);
+  b.set_word(7, 0xF0);
+  EXPECT_EQ(a.hamming(b), 12u);
+  EXPECT_EQ((a ^ b).popcount(), 12u);
+  EXPECT_EQ(a.hamming(a), 0u);
+}
+
+TEST(CacheLine, ComplementFlipsEverything) {
+  Xoshiro256 rng{1};
+  const CacheLine a = random_line(rng);
+  EXPECT_EQ(a.hamming(~a), kLineBits);
+}
+
+TEST(CacheLine, DirtyMask) {
+  CacheLine a;
+  CacheLine b = a;
+  EXPECT_EQ(a.dirty_mask(b), 0u);
+  b.set_word(0, 1);
+  b.set_word(5, 7);
+  EXPECT_EQ(a.dirty_mask(b), 0b00100001u);
+  EXPECT_EQ(b.dirty_mask(a), 0b00100001u);  // symmetric
+}
+
+TEST(CacheLine, EqualityIsValueBased) {
+  Xoshiro256 rng{2};
+  const CacheLine a = random_line(rng);
+  CacheLine b = a;
+  EXPECT_EQ(a, b);
+  b.set_bit(511, !b.bit(511));
+  EXPECT_NE(a, b);
+}
+
+TEST(CacheLine, ToStringFormat) {
+  CacheLine line;
+  line.set_word(0, 0x1);
+  line.set_word(7, 0xABC);
+  const std::string s = line.to_string();
+  // Word 7 printed first, word 0 last, 8 groups of 16 hex digits.
+  EXPECT_EQ(s.size(), 8 * 16 + 7);
+  EXPECT_EQ(s.substr(0, 16), "0000000000000abc");
+  EXPECT_EQ(s.substr(s.size() - 16), "0000000000000001");
+}
+
+}  // namespace
+}  // namespace nvmenc

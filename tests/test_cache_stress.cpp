@@ -1,0 +1,125 @@
+// Randomized stress tests: arbitrary cache shapes against the flat
+// reference model. Complements test_hierarchy.cpp's directed tests.
+#include <gtest/gtest.h>
+#include <unordered_map>
+
+#include "cache/hierarchy.hpp"
+#include "common/rng.hpp"
+
+namespace nvmenc {
+namespace {
+
+class MapBackend final : public LineBackend {
+ public:
+  CacheLine read_line(u64 line_addr) override {
+    const auto it = image.find(line_addr);
+    return it != image.end() ? it->second : CacheLine{};
+  }
+  void write_line(u64 line_addr, const CacheLine& data) override {
+    image[line_addr] = data;
+  }
+  std::unordered_map<u64, CacheLine> image;
+};
+
+struct Shape {
+  std::vector<CacheConfig> levels;
+  usize footprint_lines;
+  const char* label;
+};
+
+std::vector<Shape> shapes() {
+  return {
+      {{{.name = "L1", .size_bytes = 2 * kLineBytes, .ways = 1}},
+       64,
+       "direct-mapped-single"},
+      {{{.name = "L1", .size_bytes = 8 * kLineBytes, .ways = 8}},
+       64,
+       "fully-associative-single"},
+      {{{.name = "L1", .size_bytes = 4 * kLineBytes, .ways = 2},
+        {.name = "L2", .size_bytes = 8 * kLineBytes, .ways = 2}},
+       96,
+       "two-level-tiny"},
+      {{{.name = "L1", .size_bytes = 4 * kLineBytes, .ways = 4},
+        {.name = "L2", .size_bytes = 16 * kLineBytes, .ways = 4},
+        {.name = "L3", .size_bytes = 64 * kLineBytes, .ways = 16}},
+       256,
+       "three-level"},
+      {{{.name = "L1", .size_bytes = 2 * kLineBytes, .ways = 2},
+        {.name = "L2", .size_bytes = 2 * kLineBytes, .ways = 2},
+        {.name = "L3", .size_bytes = 4 * kLineBytes, .ways = 1},
+        {.name = "L4", .size_bytes = 32 * kLineBytes, .ways = 8}},
+       128,
+       "four-level-degenerate"},
+  };
+}
+
+class CacheStress : public ::testing::TestWithParam<usize> {};
+
+TEST_P(CacheStress, MatchesFlatMemoryUnderRandomTraffic) {
+  const Shape shape = shapes()[GetParam()];
+  MapBackend backend;
+  CacheHierarchy h{shape.levels, backend};
+  std::unordered_map<u64, u64> reference;
+  Xoshiro256 rng{9000 + GetParam()};
+  for (int i = 0; i < 40000; ++i) {
+    const u64 line = rng.next_below(shape.footprint_lines) * kLineBytes;
+    const u64 addr = line + rng.next_below(kWordsPerLine) * 8;
+    if (rng.next_bool(0.6)) {
+      const u64 value = rng.next();
+      h.access({addr, Op::kWrite, value});
+      reference[addr] = value;
+    } else {
+      const auto it = reference.find(addr);
+      const u64 want = it != reference.end() ? it->second : 0;
+      ASSERT_EQ(h.access({addr, Op::kRead, 0}), want)
+          << shape.label << " iter " << i;
+    }
+    // Occasionally flush mid-stream: everything must still line up.
+    if (i % 15000 == 14999) {
+      h.flush();
+      for (const auto& [a, v] : reference) {
+        const u64 l = a & ~u64{kLineBytes - 1};
+        ASSERT_TRUE(backend.image.contains(l)) << shape.label;
+        ASSERT_EQ(backend.image[l].word((a / 8) % kWordsPerLine), v)
+            << shape.label;
+      }
+    }
+  }
+  // Capacity invariants hold at every level.
+  for (usize level = 0; level < h.levels(); ++level) {
+    ASSERT_LE(h.level(level).resident_lines(),
+              h.level(level).config().lines());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CacheStress,
+                         ::testing::Values<usize>(0, 1, 2, 3, 4),
+                         [](const auto& param_info) {
+                           std::string name =
+                               shapes()[param_info.param].label;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(CacheStress, HotSetStaysResident) {
+  // A working set that fits L1 must stop generating backend traffic.
+  MapBackend backend;
+  CacheHierarchy h{{{.name = "L1",
+                     .size_bytes = 8 * kLineBytes,
+                     .ways = 8}},
+                   backend};
+  Xoshiro256 rng{77};
+  for (int i = 0; i < 100; ++i) {
+    h.access({rng.next_below(8) * kLineBytes, Op::kWrite, rng.next()});
+  }
+  const u64 misses_after_warm = h.level(0).stats().misses;
+  for (int i = 0; i < 5000; ++i) {
+    h.access({rng.next_below(8) * kLineBytes, Op::kWrite, rng.next()});
+  }
+  EXPECT_EQ(h.level(0).stats().misses, misses_after_warm);
+}
+
+}  // namespace
+}  // namespace nvmenc

@@ -1,0 +1,137 @@
+#include "encoding/deuce.hpp"
+
+#include <gtest/gtest.h>
+
+#include "encoder_test_util.hpp"
+
+namespace nvmenc {
+namespace {
+
+TEST(Deuce, MetaLayoutAndNames) {
+  DeuceEncoder deuce;
+  EXPECT_EQ(deuce.name(), "DEUCE");
+  EXPECT_EQ(deuce.meta_bits(), 40u);
+  EXPECT_FALSE(deuce.is_tag_bit(0));
+  DeuceEncoder naive{true};
+  EXPECT_EQ(naive.name(), "CTR-naive");
+}
+
+TEST(Deuce, StoredImageIsCiphertext) {
+  DeuceEncoder deuce;
+  Xoshiro256 rng{1};
+  const CacheLine line = testutil::random_line(rng);
+  const StoredLine stored = deuce.make_stored(line);
+  // Ciphertext differs from plaintext (overwhelmingly).
+  EXPECT_NE(stored.data, line);
+  EXPECT_EQ(deuce.decode(stored), line);
+}
+
+TEST(Deuce, RoundTripsAllWriteClasses) {
+  DeuceEncoder deuce;
+  testutil::exercise_encoder(deuce, 2468, 400);
+  DeuceEncoder naive{true};
+  testutil::exercise_encoder(naive, 2469, 200);
+}
+
+TEST(Deuce, CleanWordsKeepTheirCiphertext) {
+  DeuceEncoder deuce;
+  Xoshiro256 rng{2};
+  CacheLine line = testutil::random_line(rng);
+  StoredLine stored = deuce.make_stored(line);
+  CacheLine next = line;
+  next.set_word(3, rng.next());
+  const StoredLine before = stored;
+  (void)deuce.encode(stored, next);
+  usize changed_words = 0;
+  for (usize w = 0; w < kWordsPerLine; ++w) {
+    changed_words += before.data.word(w) != stored.data.word(w);
+  }
+  EXPECT_EQ(changed_words, 1u);  // only the modified word re-keyed
+  EXPECT_EQ(deuce.decode(stored), next);
+}
+
+TEST(Deuce, NaiveCtrRewritesEverything) {
+  DeuceEncoder naive{true};
+  Xoshiro256 rng{3};
+  CacheLine line = testutil::random_line(rng);
+  StoredLine stored = naive.make_stored(line);
+  CacheLine next = line;
+  next.set_word(0, rng.next());
+  const FlipBreakdown fb = naive.encode(stored, next);
+  // Full re-key randomizes ~half the line's cells.
+  EXPECT_GT(fb.data, kLineBits / 4);
+  EXPECT_EQ(naive.decode(stored), next);
+}
+
+TEST(Deuce, PartialWritesFlipLessThanNaive) {
+  // Words modified within an epoch must follow the leading counter on
+  // every subsequent write, so DEUCE's saving shrinks as the modified
+  // bitmap fills; with one random word per write it still beats naive
+  // CTR clearly, and with sparse low-reuse traffic (one write per epoch
+  // reset) it crushes it.
+  Xoshiro256 rng{4};
+  DeuceEncoder deuce;
+  DeuceEncoder naive{true};
+  CacheLine line = testutil::random_line(rng);
+  StoredLine s1 = deuce.make_stored(line);
+  StoredLine s2 = naive.make_stored(line);
+  usize f1 = 0;
+  usize f2 = 0;
+  for (int i = 0; i < 200; ++i) {
+    line.set_word(rng.next_below(kWordsPerLine), rng.next());
+    f1 += deuce.encode(s1, line).total();
+    f2 += naive.encode(s2, line).total();
+  }
+  EXPECT_LT(static_cast<double>(f1), 0.85 * static_cast<double>(f2));
+
+  // Fresh lines, one modified word each: the asymptotic 1/8 ratio.
+  DeuceEncoder d2;
+  DeuceEncoder n2{true};
+  usize g1 = 0;
+  usize g2 = 0;
+  for (int i = 0; i < 100; ++i) {
+    CacheLine base = testutil::random_line(rng);
+    StoredLine t1 = d2.make_stored(base);
+    StoredLine t2 = n2.make_stored(base);
+    base.set_word(0, rng.next());
+    g1 += d2.encode(t1, base).total();
+    g2 += n2.encode(t2, base).total();
+  }
+  EXPECT_LT(static_cast<double>(g1), 0.25 * static_cast<double>(g2));
+}
+
+TEST(Deuce, EpochReencryptionResetsBitmap) {
+  DeuceEncoder deuce;
+  CacheLine line;
+  StoredLine stored = deuce.make_stored(line);
+  // Drive kEpoch writes; the epoch boundary must clear the bitmap and
+  // still decode.
+  for (usize i = 1; i <= DeuceEncoder::kEpoch; ++i) {
+    line.set_word(0, i);
+    (void)deuce.encode(stored, line);
+    ASSERT_EQ(deuce.decode(stored), line) << "write " << i;
+  }
+  EXPECT_EQ(stored.meta.bits(32, 8), 0u);  // bitmap cleared at the epoch
+  // Counters agree after the full re-encryption.
+  EXPECT_EQ(stored.meta.bits(0, 16), stored.meta.bits(16, 16));
+}
+
+TEST(Deuce, SilentWritebackIsFree) {
+  DeuceEncoder deuce;
+  Xoshiro256 rng{5};
+  const CacheLine line = testutil::random_line(rng);
+  StoredLine stored = deuce.make_stored(line);
+  EXPECT_EQ(deuce.encode(stored, line).total(), 0u);
+}
+
+TEST(Deuce, DifferentKeysGiveDifferentCiphertexts) {
+  DeuceEncoder a{false, 1};
+  DeuceEncoder b{false, 2};
+  CacheLine line = CacheLine::filled(0x1234);
+  EXPECT_NE(a.make_stored(line).data, b.make_stored(line).data);
+  EXPECT_EQ(a.decode(a.make_stored(line)), line);
+  EXPECT_EQ(b.decode(b.make_stored(line)), line);
+}
+
+}  // namespace
+}  // namespace nvmenc

@@ -1,0 +1,133 @@
+#include "nvm/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "encoding/dcw.hpp"
+
+namespace nvmenc {
+namespace {
+
+NvmDevice::Initializer zero_init() {
+  return [](u64) {
+    StoredLine s;
+    s.meta = BitBuf{0};
+    return s;
+  };
+}
+
+TEST(Device, RequiresInitializer) {
+  EXPECT_THROW(NvmDevice(NvmDeviceConfig{}, nullptr), std::invalid_argument);
+}
+
+TEST(Device, LazyInitialization) {
+  usize init_calls = 0;
+  NvmDevice dev{NvmDeviceConfig{}, [&](u64 addr) {
+                  ++init_calls;
+                  StoredLine s;
+                  s.data.set_word(0, addr);
+                  s.meta = BitBuf{0};
+                  return s;
+                }};
+  EXPECT_EQ(dev.load(0x1000).data.word(0), 0x1000u);
+  EXPECT_EQ(dev.load(0x1000).data.word(0), 0x1000u);
+  EXPECT_EQ(init_calls, 1u);
+  EXPECT_EQ(dev.touched_lines(), 1u);
+}
+
+TEST(Device, StoreUpdatesImageAndWear) {
+  NvmDevice dev{NvmDeviceConfig{}, zero_init()};
+  StoredLine image;
+  image.meta = BitBuf{0};
+  image.data.set_word(0, 0xFF);
+  dev.store(0x40, image, 8);
+  EXPECT_EQ(dev.load(0x40).data.word(0), 0xFFu);
+  ASSERT_NE(dev.wear(0x40), nullptr);
+  EXPECT_EQ(dev.wear(0x40)->flips, 8u);
+  EXPECT_EQ(dev.wear(0x40)->writes, 1u);
+  EXPECT_EQ(dev.total_flips(), 8u);
+  EXPECT_EQ(dev.total_writes(), 1u);
+  EXPECT_EQ(dev.wear(0x80), nullptr);
+}
+
+TEST(Device, BitWearSampling) {
+  NvmDeviceConfig config;
+  config.bit_wear_sample = 2;  // every second line
+  NvmDevice dev{config, zero_init()};
+  StoredLine image;
+  image.meta = BitBuf{0};
+  image.data.set_word(0, 0b101);
+  dev.store(0, image, 2);          // line index 0: sampled
+  dev.store(kLineBytes, image, 2); // line index 1: not sampled
+  ASSERT_NE(dev.bit_wear(0), nullptr);
+  EXPECT_EQ(dev.bit_wear(kLineBytes), nullptr);
+  const std::vector<u32>& wear = *dev.bit_wear(0);
+  EXPECT_EQ(wear[0], 1u);
+  EXPECT_EQ(wear[1], 0u);
+  EXPECT_EQ(wear[2], 1u);
+}
+
+TEST(Device, BitWearTracksMetaRegion) {
+  NvmDeviceConfig config;
+  config.bit_wear_sample = 1;
+  NvmDevice dev{config, [](u64) {
+                  StoredLine s;
+                  s.meta = BitBuf{8};
+                  return s;
+                }};
+  StoredLine image;
+  image.meta = BitBuf{8};
+  image.meta.set_bit(3, true);
+  dev.store(0, image, 1);
+  const std::vector<u32>& wear = *dev.bit_wear(0);
+  ASSERT_EQ(wear.size(), kLineBits + 8);
+  EXPECT_EQ(wear[kLineBits + 3], 1u);
+}
+
+TEST(Device, InjectedStuckBitHoldsValue) {
+  NvmDevice dev{NvmDeviceConfig{}, zero_init()};
+  dev.inject_stuck_bit(0x40, 5);  // stuck at current value (0)
+  EXPECT_EQ(dev.failed_lines(), 1u);
+  StoredLine image;
+  image.meta = BitBuf{0};
+  image.data.set_word(0, 0xFF);  // tries to set bits 0..7
+  dev.store(0x40, image, 8);
+  EXPECT_EQ(dev.load(0x40).data.word(0), 0xFFu & ~(u64{1} << 5));
+}
+
+TEST(Device, InjectRejectsMetaPositions) {
+  NvmDevice dev{NvmDeviceConfig{}, zero_init()};
+  EXPECT_THROW(dev.inject_stuck_bit(0, kLineBits), std::invalid_argument);
+}
+
+TEST(Device, EnduranceFailureSticksCells) {
+  NvmDeviceConfig config;
+  config.endurance = 3;
+  config.bit_wear_sample = 1;  // endurance tracking needs bit wear
+  NvmDevice dev{config, zero_init()};
+  StoredLine a;
+  a.meta = BitBuf{0};
+  a.data.set_word(0, 1);
+  StoredLine b;
+  b.meta = BitBuf{0};
+  // Toggle bit 0 repeatedly: 3 flips reach the endurance limit.
+  dev.store(0, a, 1);
+  dev.store(0, b, 1);
+  dev.store(0, a, 1);
+  EXPECT_EQ(dev.failed_lines(), 1u);
+  // The cell is now stuck at its last value (1).
+  dev.store(0, b, 1);
+  EXPECT_EQ(dev.load(0).data.word(0), 1u);
+}
+
+TEST(Device, StuckBitCountsLineOnce) {
+  NvmDevice dev{NvmDeviceConfig{}, zero_init()};
+  dev.inject_stuck_bit(0x40, 1);
+  dev.inject_stuck_bit(0x40, 2);
+  EXPECT_EQ(dev.failed_lines(), 1u);
+  dev.inject_stuck_bit(0x80, 1);
+  EXPECT_EQ(dev.failed_lines(), 2u);
+}
+
+}  // namespace
+}  // namespace nvmenc

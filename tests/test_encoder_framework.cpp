@@ -1,0 +1,125 @@
+// Tests of the Encoder base class: measured-not-reported flip accounting,
+// metadata ownership checks, capacity overhead arithmetic.
+#include "encoding/encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "encoder_test_util.hpp"
+#include "encoding/dcw.hpp"
+
+namespace nvmenc {
+namespace {
+
+/// A deliberately quirky encoder: stores the line complemented and keeps a
+/// 4-bit counter in metadata (2 tag bits, 2 flag bits).
+class ComplementingEncoder final : public Encoder {
+ public:
+  [[nodiscard]] const std::string& name() const noexcept override {
+    return name_;
+  }
+  [[nodiscard]] usize meta_bits() const noexcept override { return 4; }
+  [[nodiscard]] bool is_tag_bit(usize i) const noexcept override {
+    return i < 2;
+  }
+  [[nodiscard]] StoredLine make_stored(const CacheLine& line) const override {
+    StoredLine s;
+    s.data = ~line;
+    s.meta = BitBuf{4};
+    return s;
+  }
+  [[nodiscard]] CacheLine decode(const StoredLine& stored) const override {
+    return ~stored.data;
+  }
+
+ protected:
+  void encode_impl(StoredLine& stored,
+                   const CacheLine& new_line) const override {
+    stored.data = ~new_line;
+    stored.meta.set_bits(0, 4, stored.meta.bits(0, 4) + 1);
+  }
+
+ private:
+  std::string name_ = "complement-test";
+};
+
+TEST(EncoderFramework, MeasuresDataFlipsFromStoredImages) {
+  ComplementingEncoder enc;
+  CacheLine a;
+  StoredLine stored = enc.make_stored(a);
+  CacheLine b;
+  b.set_word(0, 0xFF);  // 8 logical bit changes
+  const FlipBreakdown fb = enc.encode(stored, b);
+  EXPECT_EQ(fb.data, 8u);
+  // Counter 0 -> 1: one metadata bit set; bit 0 is a tag bit.
+  EXPECT_EQ(fb.tag, 1u);
+  EXPECT_EQ(fb.flag, 0u);
+  EXPECT_EQ(fb.sets, 1u);    // the meta bit (data went 1 -> 0 nowhere: b
+                             // adds ones to stored complement? see below)
+  EXPECT_EQ(fb.resets, 8u);  // stored complement clears 8 ones
+}
+
+TEST(EncoderFramework, SplitsTagAndFlagBits) {
+  ComplementingEncoder enc;
+  StoredLine stored = enc.make_stored(CacheLine{});
+  CacheLine line;
+  FlipBreakdown total;
+  // Counter counts 0..15; bits 0-1 are tags, 2-3 flags.
+  for (int i = 0; i < 15; ++i) total += enc.encode(stored, line);
+  // Transitions of a 4-bit counter over 15 increments: bit0 flips 15x,
+  // bit1 7x, bit2 3x, bit3 1x.
+  EXPECT_EQ(total.tag, 15u + 7u);
+  EXPECT_EQ(total.flag, 3u + 1u);
+  EXPECT_EQ(total.data, 0u);
+}
+
+TEST(EncoderFramework, RejectsForeignStoredImage) {
+  ComplementingEncoder enc;
+  DcwEncoder dcw;
+  StoredLine stored = dcw.make_stored(CacheLine{});  // meta width 0
+  EXPECT_THROW((void)enc.encode(stored, CacheLine{}), std::invalid_argument);
+}
+
+TEST(EncoderFramework, FlipTotalAlwaysEqualsSetsPlusResets) {
+  ComplementingEncoder enc;
+  testutil::exercise_encoder(enc, 1234);
+}
+
+TEST(EncoderFramework, CapacityOverhead) {
+  ComplementingEncoder enc;
+  EXPECT_DOUBLE_EQ(enc.capacity_overhead(), 4.0 / 512.0);
+  DcwEncoder dcw;
+  EXPECT_DOUBLE_EQ(dcw.capacity_overhead(), 0.0);
+}
+
+TEST(EncoderFramework, DcwFlipsEqualHammingDistance) {
+  DcwEncoder enc;
+  Xoshiro256 rng{5};
+  CacheLine prev = testutil::random_line(rng);
+  StoredLine stored = enc.make_stored(prev);
+  for (int i = 0; i < 200; ++i) {
+    const CacheLine next = testutil::random_line(rng);
+    const usize expected = prev.hamming(next);
+    const FlipBreakdown fb = enc.encode(stored, next);
+    EXPECT_EQ(fb.total(), expected);
+    EXPECT_EQ(fb.data, expected);
+    EXPECT_EQ(fb.tag, 0u);
+    EXPECT_EQ(fb.flag, 0u);
+    prev = next;
+  }
+}
+
+TEST(EncoderFramework, DcwRoundTripsAllClasses) {
+  DcwEncoder enc;
+  testutil::exercise_encoder(enc, 999);
+}
+
+TEST(EncoderFramework, DcwSilentWriteCostsNothing) {
+  DcwEncoder enc;
+  Xoshiro256 rng{6};
+  const CacheLine line = testutil::random_line(rng);
+  StoredLine stored = enc.make_stored(line);
+  EXPECT_EQ(enc.encode(stored, line).total(), 0u);
+}
+
+}  // namespace
+}  // namespace nvmenc

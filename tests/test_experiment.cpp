@@ -1,0 +1,99 @@
+#include "sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+#include <sstream>
+
+namespace nvmenc {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig c;
+  c.collector.caches = {
+      {.name = "L1", .size_bytes = 4 * kLineBytes, .ways = 2},
+      {.name = "L2", .size_bytes = 32 * kLineBytes, .ways = 4},
+  };
+  c.collector.warmup_accesses = 2000;
+  c.collector.measured_accesses = 15000;
+  return c;
+}
+
+std::vector<WorkloadProfile> two_profiles() {
+  WorkloadProfile a = profile_by_name("gcc");
+  a.working_set_lines = 256;
+  WorkloadProfile b = profile_by_name("bwaves");
+  b.working_set_lines = 256;
+  return {a, b};
+}
+
+TEST(Experiment, MatrixShapeAndLookup) {
+  const ExperimentMatrix m = run_experiment(
+      two_profiles(), {Scheme::kDcw, Scheme::kReadSae}, small_config());
+  ASSERT_EQ(m.benchmarks().size(), 2u);
+  ASSERT_EQ(m.schemes().size(), 2u);
+  EXPECT_EQ(m.at(0, 0).scheme, "DCW");
+  EXPECT_EQ(m.at("gcc", Scheme::kReadSae).benchmark, "gcc");
+  EXPECT_THROW((void)m.at("milc", Scheme::kDcw), std::invalid_argument);
+  EXPECT_THROW((void)m.at("gcc", Scheme::kCafo), std::invalid_argument);
+}
+
+TEST(Experiment, RatiosNormalizeToBaseline) {
+  const ExperimentMatrix m = run_experiment(
+      two_profiles(), {Scheme::kDcw, Scheme::kReadSae}, small_config());
+  EXPECT_DOUBLE_EQ(m.ratio(0, Scheme::kDcw, Scheme::kDcw,
+                           metric_total_flips()),
+                   1.0);
+  const double r =
+      m.ratio(0, Scheme::kReadSae, Scheme::kDcw, metric_total_flips());
+  EXPECT_GT(r, 0.0);
+  EXPECT_LT(r, 1.0);  // READ+SAE reduces flips on gcc-like traffic
+}
+
+TEST(Experiment, NormalizedTableLayout) {
+  const ExperimentMatrix m = run_experiment(
+      two_profiles(), {Scheme::kDcw, Scheme::kFnw}, small_config());
+  const TextTable t = m.normalized_table(metric_total_flips(), Scheme::kDcw);
+  EXPECT_EQ(t.columns(), 3u);           // benchmark + 2 schemes
+  EXPECT_EQ(t.rows(), 3u);              // 2 benchmarks + average
+}
+
+TEST(Experiment, LifetimeMetricIsInverseOfFlips) {
+  const ExperimentMatrix m = run_experiment(
+      two_profiles(), {Scheme::kDcw, Scheme::kReadSae}, small_config());
+  const double flips_ratio =
+      m.ratio(0, Scheme::kReadSae, Scheme::kDcw, metric_total_flips());
+  const double lifetime_ratio =
+      m.ratio(0, Scheme::kReadSae, Scheme::kDcw, metric_lifetime());
+  EXPECT_NEAR(lifetime_ratio, 1.0 / flips_ratio, 1e-9);
+}
+
+TEST(Experiment, ProgressStreamReceivesLines) {
+  std::ostringstream progress;
+  (void)run_experiment(two_profiles(), {Scheme::kDcw}, small_config(),
+                       &progress);
+  EXPECT_NE(progress.str().find("gcc"), std::string::npos);
+  EXPECT_NE(progress.str().find("bwaves"), std::string::npos);
+}
+
+TEST(Experiment, DeterministicAcrossRuns) {
+  const ExperimentMatrix a = run_experiment(
+      two_profiles(), {Scheme::kReadSae}, small_config());
+  const ExperimentMatrix b = run_experiment(
+      two_profiles(), {Scheme::kReadSae}, small_config());
+  EXPECT_EQ(a.at(0, 0).stats.flips.total(), b.at(0, 0).stats.flips.total());
+  EXPECT_EQ(a.at(1, 0).stats.flips.total(), b.at(1, 0).stats.flips.total());
+}
+
+TEST(Experiment, BwavesUtilizationFarBelowGcc) {
+  // Figure 2's shape must survive the full pipeline: bwaves write-backs
+  // are dominated by silent lines.
+  const ExperimentMatrix m =
+      run_experiment(two_profiles(), {Scheme::kDcw}, small_config());
+  const double gcc_util = m.at("gcc", Scheme::kDcw).stats.tag_utilization();
+  const double bwaves_util =
+      m.at("bwaves", Scheme::kDcw).stats.tag_utilization();
+  EXPECT_LT(bwaves_util, 0.35);
+  EXPECT_GT(gcc_util, bwaves_util + 0.15);
+}
+
+}  // namespace
+}  // namespace nvmenc

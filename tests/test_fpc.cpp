@@ -1,0 +1,130 @@
+#include "compress/fpc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace nvmenc {
+namespace {
+
+TEST(FpcWord, PatternClassification) {
+  EXPECT_EQ(fpc_compress_word(0).pattern, 0);
+  EXPECT_EQ(fpc_compress_word(5).pattern, 1);              // 4-bit
+  EXPECT_EQ(fpc_compress_word(~u64{0}).pattern, 1);        // -1
+  EXPECT_EQ(fpc_compress_word(100).pattern, 2);            // 8-bit
+  EXPECT_EQ(fpc_compress_word(u64(-100)).pattern, 2);
+  EXPECT_EQ(fpc_compress_word(30000).pattern, 3);          // 16-bit
+  EXPECT_EQ(fpc_compress_word(2'000'000'000).pattern, 4);  // 32-bit
+  EXPECT_EQ(fpc_compress_word(0xABABABABABABABABull).pattern, 5);
+  // Two sign-extended 16-bit halves.
+  EXPECT_EQ(fpc_compress_word(0x00001234FFFF8000ull).pattern, 6);
+  EXPECT_EQ(fpc_compress_word(0x123456789ABCDEF0ull).pattern, 7);
+}
+
+TEST(FpcWord, PayloadBitsTable) {
+  EXPECT_EQ(fpc_payload_bits(0), 0u);
+  EXPECT_EQ(fpc_payload_bits(1), 4u);
+  EXPECT_EQ(fpc_payload_bits(2), 8u);
+  EXPECT_EQ(fpc_payload_bits(3), 16u);
+  EXPECT_EQ(fpc_payload_bits(4), 32u);
+  EXPECT_EQ(fpc_payload_bits(5), 8u);
+  EXPECT_EQ(fpc_payload_bits(6), 32u);
+  EXPECT_EQ(fpc_payload_bits(7), 64u);
+  EXPECT_THROW((void)fpc_payload_bits(8), std::invalid_argument);
+}
+
+TEST(FpcWord, TotalBitsIncludesPrefix) {
+  EXPECT_EQ(fpc_compress_word(0).total_bits(), 3u);
+  EXPECT_EQ(fpc_compress_word(7).total_bits(), 7u);
+}
+
+// Round-trip sweep over value classes.
+class FpcRoundTrip : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FpcRoundTrip, WordRoundTrips) {
+  const u64 value = GetParam();
+  const FpcWord cw = fpc_compress_word(value);
+  EXPECT_EQ(fpc_decompress_word(cw.pattern, cw.payload), value);
+  EXPECT_EQ(cw.payload_bits, fpc_payload_bits(cw.pattern));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ValueClasses, FpcRoundTrip,
+    ::testing::Values(u64{0}, u64{1}, u64{7}, ~u64{0}, u64{255}, u64(-128),
+                      u64{65535}, u64(-30000), u64{0x7FFFFFFF},
+                      u64(-2'000'000'000), 0x4242424242424242ull,
+                      0x0000123400005678ull, 0xFFFF8000FFFF8000ull,
+                      0xDEADBEEFCAFEF00Dull, u64{1} << 63));
+
+TEST(Fpc, RandomWordsRoundTrip) {
+  Xoshiro256 rng{31};
+  for (int i = 0; i < 5000; ++i) {
+    const u64 v = rng.next();
+    const FpcWord cw = fpc_compress_word(v);
+    EXPECT_EQ(fpc_decompress_word(cw.pattern, cw.payload), v);
+  }
+}
+
+TEST(Fpc, DecompressRejectsBadPattern) {
+  EXPECT_THROW((void)fpc_decompress_word(9, 0), std::invalid_argument);
+}
+
+TEST(Fpc, LineRoundTripsMixedContent) {
+  CacheLine line;
+  line.set_word(0, 0);
+  line.set_word(1, 42);
+  line.set_word(2, ~u64{0});
+  line.set_word(3, 0x1111111111111111ull);
+  line.set_word(4, 0xDEADBEEF12345678ull);
+  line.set_word(5, u64(-5));
+  line.set_word(6, 1u << 20);
+  line.set_word(7, 0xFFFFFFFF00000001ull);
+  const BitBuf stream = fpc_compress_line(line);
+  EXPECT_EQ(fpc_decompress_line(stream), line);
+}
+
+TEST(Fpc, ZeroLineCompressesToPrefixOnly) {
+  const BitBuf stream = fpc_compress_line(CacheLine{});
+  EXPECT_EQ(stream.size(), 8u * 3);
+}
+
+TEST(Fpc, IncompressibleLineExpandsByPrefixes) {
+  Xoshiro256 rng{37};
+  CacheLine line;
+  for (usize w = 0; w < kWordsPerLine; ++w) {
+    line.set_word(w, rng.next() | (u64{1} << 62));  // defeat sign-extension
+  }
+  const BitBuf stream = fpc_compress_line(line);
+  EXPECT_GE(stream.size(), kLineBits);
+  EXPECT_LE(stream.size(), kLineBits + 8 * 3);
+  EXPECT_EQ(fpc_decompress_line(stream), line);
+}
+
+TEST(Fpc, RandomLinesRoundTrip) {
+  Xoshiro256 rng{41};
+  for (int i = 0; i < 500; ++i) {
+    CacheLine line;
+    for (usize w = 0; w < kWordsPerLine; ++w) {
+      // Mix compressible and incompressible words.
+      switch (rng.next_below(4)) {
+        case 0: line.set_word(w, 0); break;
+        case 1: line.set_word(w, rng.next() & 0xFFFF); break;
+        case 2: line.set_word(w, rng.next()); break;
+        default: line.set_word(w, ~u64{0}); break;
+      }
+    }
+    EXPECT_EQ(fpc_decompress_line(fpc_compress_line(line)), line);
+  }
+}
+
+TEST(Fpc, TruncatedStreamThrows) {
+  const BitBuf stream =
+      fpc_compress_line(CacheLine::filled(0xDEADBEEFCAFEF00Dull));
+  BitBuf cut;
+  const usize keep = stream.size() / 2;
+  for (usize i = 0; i < keep; ++i) cut.push_bit(stream.bit(i));
+  EXPECT_THROW((void)fpc_decompress_line(cut), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nvmenc

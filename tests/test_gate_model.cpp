@@ -1,0 +1,37 @@
+#include "nvm/gate_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nvmenc {
+namespace {
+
+TEST(GateModel, DefaultConfigNearPaperSynthesis) {
+  // Section 3.4.2: ~171 K gates for the N = 32, 4-option encoder.
+  const GateEstimate g = estimate_encoder_gates();
+  EXPECT_GT(g.total(), 120'000u);
+  EXPECT_LT(g.total(), 230'000u);
+}
+
+TEST(GateModel, ComponentsAreAllPopulated) {
+  const GateEstimate g = estimate_encoder_gates();
+  EXPECT_GT(g.popcount_gates, 0u);
+  EXPECT_GT(g.comparator_gates, 0u);
+  EXPECT_GT(g.mux_gates, 0u);
+  EXPECT_GT(g.xor_gates, 0u);
+  EXPECT_EQ(g.total(), g.popcount_gates + g.comparator_gates + g.mux_gates +
+                           g.xor_gates);
+}
+
+TEST(GateModel, MoreOptionsCostMoreGates) {
+  EXPECT_LT(estimate_encoder_gates(32, 1).total(),
+            estimate_encoder_gates(32, 2).total());
+  EXPECT_LT(estimate_encoder_gates(32, 2).total(),
+            estimate_encoder_gates(32, 4).total());
+}
+
+TEST(GateModel, SingleOptionHasNoSelectMux) {
+  EXPECT_EQ(estimate_encoder_gates(32, 1).mux_gates, 0u);
+}
+
+}  // namespace
+}  // namespace nvmenc

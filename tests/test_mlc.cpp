@@ -1,0 +1,93 @@
+#include "nvm/mlc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace nvmenc {
+namespace {
+
+TEST(Mlc, GrayMappingRoundTrips) {
+  for (u8 bits = 0; bits < 4; ++bits) {
+    EXPECT_EQ(mlc_bits_of_state(mlc_state_of_bits(bits)), bits);
+  }
+  // Gray property: adjacent states differ in exactly one logical bit.
+  for (u8 s = 0; s < 3; ++s) {
+    EXPECT_EQ(popcount(static_cast<u64>(mlc_bits_of_state(s) ^
+                                        mlc_bits_of_state(s + 1))),
+              1u);
+  }
+}
+
+TEST(Mlc, IdenticalLinesCostNothing) {
+  Xoshiro256 rng{1};
+  CacheLine line;
+  for (usize w = 0; w < kWordsPerLine; ++w) line.set_word(w, rng.next());
+  EXPECT_EQ(mlc_write_energy(line, line), 0.0);
+  EXPECT_EQ(mlc_cell_changes(line, line), 0u);
+}
+
+TEST(Mlc, SingleBitFlipIsOneCellTransition) {
+  CacheLine a;
+  CacheLine b = a;
+  b.set_bit(10, true);  // bit pair 5 of word 0: 00 -> 01? bit 10 is pair 5
+  EXPECT_EQ(mlc_cell_changes(a, b), 1u);
+  // 00 -> Gray state of the new pair; energy must be one transition.
+  EXPECT_GT(mlc_write_energy(a, b), 0.0);
+  MlcEnergyParams p;
+  EXPECT_LE(mlc_write_energy(a, b), 19.2);
+}
+
+TEST(Mlc, BothBitsOfOnePairIsStillOneCell) {
+  CacheLine a;
+  CacheLine b = a;
+  b.set_bit(0, true);
+  b.set_bit(1, true);  // pair 0: 00 -> 11, one cell
+  EXPECT_EQ(mlc_cell_changes(a, b), 1u);
+}
+
+TEST(Mlc, FullComplementTouchesEveryCell) {
+  Xoshiro256 rng{2};
+  CacheLine a;
+  for (usize w = 0; w < kWordsPerLine; ++w) a.set_word(w, rng.next());
+  const CacheLine b = ~a;
+  EXPECT_EQ(mlc_cell_changes(a, b), 256u);  // 512 bits / 2 per cell
+}
+
+TEST(Mlc, EnergyMatchesManualTransitionSum) {
+  // word 0: pair 0 goes 00 -> 10 (state 0 -> 3 under Gray), others idle.
+  CacheLine a;
+  CacheLine b = a;
+  b.set_bit(1, true);  // bit pair value 0b10
+  MlcEnergyParams p;
+  EXPECT_DOUBLE_EQ(mlc_write_energy(a, b, p), p.transition_pj[0][3]);
+  // And the reverse direction uses the opposite entry.
+  EXPECT_DOUBLE_EQ(mlc_write_energy(b, a, p), p.transition_pj[3][0]);
+}
+
+TEST(Mlc, AsymmetricDirections) {
+  MlcEnergyParams p;
+  EXPECT_NE(p.transition_pj[0][3], p.transition_pj[3][0]);
+  for (usize s = 0; s < 4; ++s) EXPECT_EQ(p.transition_pj[s][s], 0.0);
+}
+
+TEST(Mlc, ChangesBoundedByBitFlips) {
+  // Each changed cell implies at least one changed bit, so cell changes
+  // never exceed bit flips (and can be as low as half).
+  Xoshiro256 rng{3};
+  for (int i = 0; i < 100; ++i) {
+    CacheLine a;
+    CacheLine b;
+    for (usize w = 0; w < kWordsPerLine; ++w) {
+      a.set_word(w, rng.next());
+      b.set_word(w, rng.next_bool(0.5) ? a.word(w) : rng.next());
+    }
+    const usize flips = a.hamming(b);
+    const usize cells = mlc_cell_changes(a, b);
+    EXPECT_LE(cells, flips);
+    EXPECT_GE(2 * cells, flips);
+  }
+}
+
+}  // namespace
+}  // namespace nvmenc

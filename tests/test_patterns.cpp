@@ -1,0 +1,173 @@
+#include "trace/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nvmenc {
+namespace {
+
+TEST(ValueMix, ValidatesSum) {
+  ValueMix ok{.complement = 0.5, .random = 0.5};
+  EXPECT_NO_THROW(ok.validate());
+  ValueMix bad{.complement = 0.5, .random = 0.6};
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  ValueMix negative{.complement = -0.1, .zero = 1.1};
+  EXPECT_THROW(negative.validate(), std::invalid_argument);
+}
+
+TEST(WordClass, AssignmentIsDeterministic) {
+  const ValueMix mix{.small_int = 0.5, .random = 0.5};
+  for (usize w = 0; w < kWordsPerLine; ++w) {
+    EXPECT_EQ(assign_word_class(7, 0x1000, w, mix),
+              assign_word_class(7, 0x1000, w, mix));
+  }
+}
+
+TEST(WordClass, DegenerateMixAssignsThatClass) {
+  const ValueMix all_ptr{.pointer = 1.0};
+  for (u64 line = 0; line < 32; ++line) {
+    for (usize w = 0; w < kWordsPerLine; ++w) {
+      EXPECT_EQ(assign_word_class(1, line * kLineBytes, w, all_ptr),
+                WordClass::kPointer);
+    }
+  }
+}
+
+TEST(WordClass, MixProportionsRoughlyRespected) {
+  const ValueMix mix{.complement = 0.25, .small_int = 0.25, .random = 0.5};
+  usize complement = 0;
+  usize small = 0;
+  usize random = 0;
+  const usize lines = 4000;
+  for (u64 i = 0; i < lines; ++i) {
+    switch (assign_word_class(9, i * kLineBytes, i % 8, mix)) {
+      case WordClass::kComplement: ++complement; break;
+      case WordClass::kSmallInt: ++small; break;
+      case WordClass::kRandom: ++random; break;
+      default: break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(complement) / lines, 0.25, 0.03);
+  EXPECT_NEAR(static_cast<double>(small) / lines, 0.25, 0.03);
+  EXPECT_NEAR(static_cast<double>(random) / lines, 0.50, 0.03);
+}
+
+TEST(UpdateValue, ComplementClassToggles) {
+  Xoshiro256 rng{1};
+  EXPECT_EQ(update_class_value(rng, WordClass::kComplement, 0x1234),
+            ~u64{0x1234});
+}
+
+TEST(UpdateValue, ZeroClassTogglesThroughZero) {
+  Xoshiro256 rng{2};
+  const u64 nonzero = update_class_value(rng, WordClass::kZero, 0);
+  EXPECT_NE(nonzero, 0u);
+  EXPECT_LE(nonzero, 0x100u);
+  EXPECT_EQ(update_class_value(rng, WordClass::kZero, nonzero), 0u);
+}
+
+TEST(UpdateValue, OnesClassTogglesThroughAllOnes) {
+  Xoshiro256 rng{3};
+  const u64 v = update_class_value(rng, WordClass::kOnes, ~u64{0});
+  EXPECT_NE(v, ~u64{0});
+  EXPECT_EQ(update_class_value(rng, WordClass::kOnes, v), ~u64{0});
+}
+
+TEST(UpdateValue, SmallIntStaysSmall) {
+  Xoshiro256 rng{4};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(update_class_value(rng, WordClass::kSmallInt, 5),
+              u64{1} << 16);
+  }
+}
+
+TEST(UpdateValue, PointerKeepsHighBits) {
+  Xoshiro256 rng{5};
+  const u64 old_value = 0x50001234567890F8ull;
+  for (int i = 0; i < 100; ++i) {
+    const u64 v = update_class_value(rng, WordClass::kPointer, old_value);
+    EXPECT_EQ(v >> 24, old_value >> 24);
+  }
+}
+
+TEST(UpdateValue, FloatPerturbsLowBitsOnly) {
+  Xoshiro256 rng{6};
+  const u64 old_value = 0x4010000000000000ull;
+  for (int i = 0; i < 100; ++i) {
+    const u64 v = update_class_value(rng, WordClass::kFloat, old_value);
+    EXPECT_LE(popcount(v ^ old_value), 4u);
+    EXPECT_EQ((v ^ old_value) & ~low_mask(20), 0u);
+  }
+}
+
+TEST(UpdateValue, AlwaysChangesTheWord) {
+  Xoshiro256 rng{7};
+  for (const WordClass cls :
+       {WordClass::kComplement, WordClass::kZero, WordClass::kOnes,
+        WordClass::kSmallInt, WordClass::kPointer, WordClass::kFloat,
+        WordClass::kRandom}) {
+    u64 v = 0x123456789ull;
+    for (int i = 0; i < 50; ++i) {
+      const u64 next = update_class_value(rng, cls, v);
+      ASSERT_NE(next, v);
+      v = next;
+    }
+  }
+}
+
+TEST(InitialLine, Deterministic) {
+  const ValueMix mix{.small_int = 0.5, .random = 0.5};
+  EXPECT_EQ(initial_line(0x1000, 42, mix, 0.3),
+            initial_line(0x1000, 42, mix, 0.3));
+}
+
+TEST(InitialLine, SeedAndAddressChangeContent) {
+  const ValueMix mix{.random = 1.0};
+  const CacheLine a = initial_line(0x1000, 42, mix, 0.0);
+  EXPECT_NE(a, initial_line(0x1040, 42, mix, 0.0));
+  EXPECT_NE(a, initial_line(0x1000, 43, mix, 0.0));
+}
+
+TEST(InitialLine, ZeroBiasExtremes) {
+  const ValueMix mix{.random = 1.0};
+  EXPECT_EQ(initial_line(0x40, 7, mix, 1.0), CacheLine{});
+  usize zero_words = 0;
+  for (u64 addr = 0; addr < 64 * kLineBytes; addr += kLineBytes) {
+    const CacheLine line = initial_line(addr, 7, mix, 0.0);
+    for (usize w = 0; w < kWordsPerLine; ++w) {
+      zero_words += line.word(w) == 0;
+    }
+  }
+  EXPECT_EQ(zero_words, 0u);
+}
+
+TEST(InitialLine, ClassAwareInitialValues) {
+  // A pure-small-int mix yields small initial values (bias 0).
+  const ValueMix small{.small_int = 1.0};
+  for (u64 addr = 0; addr < 16 * kLineBytes; addr += kLineBytes) {
+    const CacheLine line = initial_line(addr, 5, small, 0.0);
+    for (usize w = 0; w < kWordsPerLine; ++w) {
+      EXPECT_LT(line.word(w), u64{1} << 16);
+    }
+  }
+  // A pure-zero mix starts all slots at zero.
+  const ValueMix zero{.zero = 1.0};
+  EXPECT_EQ(initial_line(0x40, 5, zero, 0.0), CacheLine{});
+}
+
+TEST(InitialLine, BiasRoughlyMatchesZeroFraction) {
+  const ValueMix mix{.random = 1.0};
+  usize zero_words = 0;
+  const usize lines = 2000;
+  for (u64 i = 0; i < lines; ++i) {
+    const CacheLine line = initial_line(i * kLineBytes, 9, mix, 0.3);
+    for (usize w = 0; w < kWordsPerLine; ++w) {
+      zero_words += line.word(w) == 0;
+    }
+  }
+  const double frac =
+      static_cast<double>(zero_words) / (lines * kWordsPerLine);
+  EXPECT_NEAR(frac, 0.3, 0.03);
+}
+
+}  // namespace
+}  // namespace nvmenc

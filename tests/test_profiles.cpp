@@ -1,0 +1,87 @@
+#include "trace/profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nvmenc {
+namespace {
+
+TEST(Profiles, TwelveSpecBenchmarksInFigureOrder) {
+  const auto& profiles = spec2006_profiles();
+  ASSERT_EQ(profiles.size(), 12u);
+  const std::vector<std::string> expected = {
+      "bwaves", "cactusADM", "milc",      "sjeng",    "wrf",     "bzip2",
+      "gcc",    "omnetpp",   "xalancbmk", "leslie3d", "gromacs", "sphinx3"};
+  for (usize i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(profiles[i].name, expected[i]);
+  }
+}
+
+TEST(Profiles, AllValidate) {
+  for (const WorkloadProfile& p : spec2006_profiles()) {
+    EXPECT_NO_THROW(p.validate()) << p.name;
+  }
+}
+
+TEST(Profiles, BwavesIsSilentDominated) {
+  // Figure 2: ~60% of bwaves write-backs modify zero words; utilization 8%.
+  const WorkloadProfile& p = profile_by_name("bwaves");
+  EXPECT_NEAR(p.dirty_word_pmf[0], 0.60, 0.05);
+  EXPECT_LT(p.expected_dirty_words(), 1.0);
+}
+
+TEST(Profiles, XalancbmkIsDirtyDominated) {
+  // Figure 2: ~90% of xalancbmk lines have 7-8 dirty words; 93% utilization.
+  const WorkloadProfile& p = profile_by_name("xalancbmk");
+  EXPECT_GT(p.dirty_word_pmf[7] + p.dirty_word_pmf[8], 0.85);
+  EXPECT_GT(p.expected_dirty_words() / 8.0, 0.85);
+}
+
+TEST(Profiles, SjengCarriesSequentialFlips) {
+  // Section 3.2.1: ~11.7% of sjeng writes are sequential flips.
+  const WorkloadProfile& p = profile_by_name("sjeng");
+  EXPECT_GT(p.mix.complement, 0.08);
+}
+
+TEST(Profiles, FleetAverageUtilizationNearPaper) {
+  // The paper reports 57.2% average tag-bit utilization; the calibrated
+  // profile targets sit within a few points of that.
+  double sum = 0.0;
+  for (const WorkloadProfile& p : spec2006_profiles()) {
+    sum += p.expected_dirty_words() / 8.0;
+  }
+  const double avg = sum / 12.0;
+  EXPECT_NEAR(avg, 0.572, 0.06);
+}
+
+TEST(Profiles, LookupByNameThrowsOnUnknown) {
+  EXPECT_THROW((void)profile_by_name("perlbench"), std::invalid_argument);
+}
+
+TEST(Profiles, UniformProfile) {
+  const WorkloadProfile p = uniform_profile(1024);
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_EQ(p.working_set_lines, 1024u);
+  EXPECT_DOUBLE_EQ(p.expected_dirty_words(), 8.0);
+  EXPECT_DOUBLE_EQ(p.mix.random, 1.0);
+}
+
+TEST(Profiles, ValidationCatchesBadPmf) {
+  WorkloadProfile p = uniform_profile();
+  p.dirty_word_pmf[0] = 0.5;  // sums to 1.5 now
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Profiles, ValidationCatchesBadRanges) {
+  WorkloadProfile p = uniform_profile();
+  p.hot_fraction = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = uniform_profile();
+  p.zero_word_bias = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = uniform_profile();
+  p.working_set_lines = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nvmenc

@@ -1,0 +1,88 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nvmenc {
+namespace {
+
+TEST(SplitMix64, Deterministic) {
+  SplitMix64 a{123};
+  SplitMix64 b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, SeedsDiffer) {
+  SplitMix64 a{1};
+  SplitMix64 b{2};
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, Deterministic) {
+  Xoshiro256 a{42};
+  Xoshiro256 b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, NextBelowStaysInRange) {
+  Xoshiro256 rng{7};
+  for (const u64 bound : {u64{1}, u64{2}, u64{3}, u64{10}, u64{1000},
+                          u64{1} << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, NextBelowOneIsAlwaysZero) {
+  Xoshiro256 rng{7};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng{11};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.next_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, NextBoolRespectsProbability) {
+  Xoshiro256 rng{13};
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.next_bool(0.25);
+  const double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(Xoshiro256, NextBelowIsRoughlyUniform) {
+  Xoshiro256 rng{17};
+  const u64 bound = 8;
+  std::array<int, 8> counts{};
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_below(bound)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.125, 0.01);
+  }
+}
+
+TEST(Xoshiro256, BitsAreBalanced) {
+  Xoshiro256 rng{19};
+  usize ones = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    ones += static_cast<usize>(std::popcount(rng.next()));
+  }
+  const double rate = static_cast<double>(ones) / (64.0 * n);
+  EXPECT_NEAR(rate, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256>);
+  EXPECT_EQ(Xoshiro256::min(), 0u);
+  EXPECT_EQ(Xoshiro256::max(), ~u64{0});
+}
+
+}  // namespace
+}  // namespace nvmenc

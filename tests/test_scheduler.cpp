@@ -1,0 +1,102 @@
+#include "nvm/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/perf.hpp"
+
+namespace nvmenc {
+namespace {
+
+SchedulerConfig small_config() {
+  SchedulerConfig c;
+  c.org.banks = 2;
+  c.write_queue_capacity = 8;
+  c.high_watermark = 6;
+  c.low_watermark = 2;
+  return c;
+}
+
+TEST(Scheduler, ConfigValidation) {
+  SchedulerConfig c = small_config();
+  EXPECT_NO_THROW(c.validate());
+  c.low_watermark = 6;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = small_config();
+  c.high_watermark = 9;  // > capacity
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = small_config();
+  c.write_queue_capacity = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(Scheduler, WritesArePostedUntilWatermark) {
+  WriteQueueScheduler s{small_config()};
+  for (u64 i = 0; i < 5; ++i) s.write(i * kLineBytes, 0.0);
+  EXPECT_EQ(s.queue_depth(), 5u);
+  EXPECT_EQ(s.stats().drains, 0u);
+  EXPECT_EQ(s.timing().stats().writes, 0u);  // nothing hit the array yet
+  s.write(5 * kLineBytes, 0.0);              // reaches the high watermark
+  EXPECT_EQ(s.stats().drains, 1u);
+  EXPECT_EQ(s.queue_depth(), small_config().low_watermark);
+}
+
+TEST(Scheduler, ReadForwardsFromQueue) {
+  WriteQueueScheduler s{small_config()};
+  s.write(0x40, 0.0);
+  const double done = s.read(0x40, 5.0);
+  EXPECT_DOUBLE_EQ(done, 5.0);  // on-chip forward
+  EXPECT_EQ(s.stats().forwarded_reads, 1u);
+}
+
+TEST(Scheduler, CoalescesRewrites) {
+  WriteQueueScheduler s{small_config()};
+  s.write(0x40, 0.0);
+  s.write(0x40, 1.0);
+  s.write(0x40, 2.0);
+  EXPECT_EQ(s.queue_depth(), 1u);
+}
+
+TEST(Scheduler, DrainAllEmptiesQueue) {
+  WriteQueueScheduler s{small_config()};
+  for (u64 i = 0; i < 4; ++i) s.write(i * kLineBytes, 0.0);
+  const double end = s.drain_all(100.0);
+  EXPECT_EQ(s.queue_depth(), 0u);
+  EXPECT_GT(end, 100.0);
+  EXPECT_EQ(s.timing().stats().writes, 4u);
+}
+
+TEST(Scheduler, ReadAfterDrainSeesBusyBank) {
+  WriteQueueScheduler s{small_config()};
+  for (u64 i = 0; i < 6; ++i) s.write(i * kLineBytes, 0.0);  // drains
+  // A read right after the drain episode queues behind the writes.
+  const double done = s.read(0x40000, 1.0);
+  EXPECT_GT(done - 1.0, 150.0);  // waited for at least one write
+}
+
+TEST(Scheduler, CoalescingAndForwardingPayOffOnHotWrites) {
+  // Hot lines are rewritten repeatedly and read back: the queue coalesces
+  // the rewrites (fewer array writes) and forwards the reads (zero
+  // latency), the two concrete wins of write buffering. (Mean read
+  // latency can go either way: synchronous drains add tail stalls — the
+  // classic write-drain trade-off, visible in bench/perf_overhead.)
+  std::vector<MemRequest> requests;
+  Xoshiro256 rng{42};
+  for (int burst = 0; burst < 200; ++burst) {
+    for (int w = 0; w < 8; ++w) {
+      requests.push_back({rng.next_below(4) * kLineBytes, true});
+    }
+    requests.push_back({rng.next_below(4) * kLineBytes, false});
+  }
+  PerfConfig plain;
+  PerfConfig queued = plain;
+  queued.use_write_queue = true;
+  const PerfResult a = run_timing(requests, plain);
+  const PerfResult b = run_timing(requests, queued);
+  EXPECT_LT(b.timing.writes, a.timing.writes / 4);  // coalescing
+  EXPECT_GT(b.scheduler.forwarded_reads, 100u);     // forwarding
+  EXPECT_LT(b.total_ns, a.total_ns);                // less array work
+}
+
+}  // namespace
+}  // namespace nvmenc

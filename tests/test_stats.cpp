@@ -1,0 +1,100 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace nvmenc {
+namespace {
+
+TEST(RunningStat, Empty) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownSequence) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(RunningStat, NegativeValues) {
+  RunningStat s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Histogram, CountsAndFractions) {
+  Histogram h{8};
+  h.add(0);
+  h.add(0);
+  h.add(8);
+  h.add(3, 2);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.count(8), 1u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.4);
+  EXPECT_DOUBLE_EQ(h.fraction(3), 0.4);
+}
+
+TEST(Histogram, OverflowBucket) {
+  Histogram h{4};
+  h.add(100);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(Histogram, Mean) {
+  Histogram h{8};
+  h.add(2, 3);
+  h.add(6, 1);
+  EXPECT_DOUBLE_EQ(h.mean(), (2.0 * 3 + 6.0) / 4.0);
+}
+
+TEST(Histogram, MeanOfEmptyIsZero) {
+  Histogram h{8};
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, OutOfRangeCountThrows) {
+  Histogram h{4};
+  EXPECT_THROW((void)h.count(5), std::invalid_argument);
+}
+
+TEST(Geomean, KnownValues) {
+  EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+  EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Geomean, RejectsEmptyAndNonPositive) {
+  EXPECT_THROW((void)geomean({}), std::invalid_argument);
+  EXPECT_THROW((void)geomean({1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW((void)geomean({-1.0}), std::invalid_argument);
+}
+
+TEST(Mean, KnownValues) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_THROW((void)mean({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nvmenc

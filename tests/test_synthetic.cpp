@@ -1,0 +1,126 @@
+#include "trace/synthetic.hpp"
+
+#include <gtest/gtest.h>
+#include <unordered_map>
+
+namespace nvmenc {
+namespace {
+
+TEST(SyntheticWorkload, Deterministic) {
+  SyntheticWorkload a{profile_by_name("gcc"), 7};
+  SyntheticWorkload b{profile_by_name("gcc"), 7};
+  for (int i = 0; i < 2000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SyntheticWorkload, SeedChangesStream) {
+  SyntheticWorkload a{profile_by_name("gcc"), 7};
+  SyntheticWorkload b{profile_by_name("gcc"), 8};
+  bool any_diff = false;
+  for (int i = 0; i < 100 && !any_diff; ++i) any_diff = a.next() != b.next();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticWorkload, AddressesAreWordAlignedAndInWorkingSet) {
+  WorkloadProfile p = uniform_profile(256);
+  SyntheticWorkload wl{p, 3};
+  u64 min_addr = ~u64{0};
+  u64 max_addr = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const MemAccess a = wl.next();
+    EXPECT_EQ(a.addr % 8, 0u);
+    min_addr = std::min(min_addr, a.line_addr());
+    max_addr = std::max(max_addr, a.line_addr());
+  }
+  EXPECT_LT((max_addr - min_addr) / kLineBytes, 256u);
+}
+
+TEST(SyntheticWorkload, InitialLineMatchesPatternFunction) {
+  SyntheticWorkload wl{profile_by_name("milc"), 11};
+  // Deterministic and stable across calls.
+  EXPECT_EQ(wl.initial_line(0x4000), wl.initial_line(0x4000));
+}
+
+// Applying the writes to the initial image must track the generator's own
+// value model: a replayed image is consistent (silent stores really are
+// silent, complements really complement).
+TEST(SyntheticWorkload, WritesAreConsistentWithImage) {
+  SyntheticWorkload wl{profile_by_name("sjeng"), 13};
+  std::unordered_map<u64, CacheLine> image;
+  auto line_of = [&](u64 line_addr) -> CacheLine& {
+    auto it = image.find(line_addr);
+    if (it == image.end()) {
+      it = image.emplace(line_addr, wl.initial_line(line_addr)).first;
+    }
+    return it->second;
+  };
+  usize silent = 0;
+  usize writes = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const MemAccess a = wl.next();
+    if (a.op != Op::kWrite) continue;
+    ++writes;
+    CacheLine& line = line_of(a.line_addr());
+    if (line.word(a.word_index()) == a.value) ++silent;
+    line.set_word(a.word_index(), a.value);
+  }
+  ASSERT_GT(writes, 0u);
+  // sjeng's profile has a 30% zero-dirty episode rate; some word writes
+  // must be silent, but far from all.
+  EXPECT_GT(silent, writes / 50);
+  EXPECT_LT(silent, writes / 2);
+}
+
+TEST(SyntheticWorkload, UniformProfileModifiesEveryWord) {
+  SyntheticWorkload wl{uniform_profile(64), 17};
+  std::unordered_map<u64, CacheLine> image;
+  for (int i = 0; i < 10000; ++i) {
+    const MemAccess a = wl.next();
+    ASSERT_EQ(a.op, Op::kWrite);  // uniform profile has no reads
+    auto it = image.find(a.line_addr());
+    if (it == image.end()) {
+      it = image.emplace(a.line_addr(), wl.initial_line(a.line_addr())).first;
+    }
+    EXPECT_NE(it->second.word(a.word_index()), a.value);
+    it->second.set_word(a.word_index(), a.value);
+  }
+}
+
+TEST(SyntheticWorkload, ReadFractionRoughlyMatchesProfile) {
+  WorkloadProfile p = profile_by_name("gcc");
+  SyntheticWorkload wl{p, 19};
+  usize reads = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) reads += wl.next().op == Op::kRead;
+  // gcc: reads_per_episode = 2, expected writes/episode ~= E[M] plus silent
+  // rewrites; reads should be a substantial but not dominant fraction.
+  EXPECT_GT(reads, n / 10);
+  EXPECT_LT(reads, n * 9 / 10);
+}
+
+TEST(SyntheticWorkload, ComplementWritesAppearInSjeng) {
+  SyntheticWorkload wl{profile_by_name("sjeng"), 23};
+  std::unordered_map<u64, CacheLine> image;
+  usize complements = 0;
+  usize writes = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const MemAccess a = wl.next();
+    if (a.op != Op::kWrite) continue;
+    auto it = image.find(a.line_addr());
+    if (it == image.end()) {
+      it = image.emplace(a.line_addr(), wl.initial_line(a.line_addr())).first;
+    }
+    ++writes;
+    if (a.value == ~it->second.word(a.word_index())) ++complements;
+    it->second.set_word(a.word_index(), a.value);
+  }
+  EXPECT_GT(static_cast<double>(complements) / static_cast<double>(writes),
+            0.05);
+}
+
+TEST(SyntheticWorkload, NameForwardsProfile) {
+  SyntheticWorkload wl{profile_by_name("wrf"), 1};
+  EXPECT_EQ(wl.name(), "wrf");
+}
+
+}  // namespace
+}  // namespace nvmenc

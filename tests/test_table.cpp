@@ -1,0 +1,73 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+#include <sstream>
+
+namespace nvmenc {
+namespace {
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable{std::vector<std::string>{}}, std::invalid_argument);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, PrintAligns) {
+  TextTable t{{"name", "value"}};
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Every line containing a value ends without trailing separator noise.
+  EXPECT_NE(out.find('\n'), std::string::npos);
+}
+
+TEST(TextTable, FmtPrecision) {
+  EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::fmt(1.0, 0), "1");
+}
+
+TEST(TextTable, FmtPct) {
+  EXPECT_EQ(TextTable::fmt_pct(-0.25), "-25.0%");
+  EXPECT_EQ(TextTable::fmt_pct(0.521), "+52.1%");
+}
+
+TEST(TextTable, CsvBasic) {
+  TextTable t{{"a", "b"}};
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, CsvQuotesSpecialCells) {
+  TextTable t{{"a"}};
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(TextTable, CsvFileRejectsBadPath) {
+  TextTable t{{"a"}};
+  EXPECT_THROW(t.write_csv_file("/nonexistent-dir/out.csv"),
+               std::runtime_error);
+}
+
+TEST(TextTable, Dimensions) {
+  TextTable t{{"a", "b", "c"}};
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace nvmenc

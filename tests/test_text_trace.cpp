@@ -1,0 +1,79 @@
+#include "trace/text_trace.hpp"
+
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace nvmenc {
+namespace {
+
+TEST(TextTrace, RoundTrips) {
+  std::vector<MemAccess> trace;
+  Xoshiro256 rng{3};
+  for (int i = 0; i < 500; ++i) {
+    trace.push_back({rng.next() & ~u64{7},
+                     rng.next_bool(0.5) ? Op::kWrite : Op::kRead,
+                     rng.next()});
+  }
+  // Reads carry no value in the format.
+  for (MemAccess& a : trace) {
+    if (a.op == Op::kRead) a.value = 0;
+  }
+  std::stringstream ss;
+  write_text_trace(ss, trace);
+  EXPECT_EQ(read_text_trace(ss), trace);
+}
+
+TEST(TextTrace, ParsesHandWrittenInput) {
+  std::stringstream ss{
+      "# a comment\n"
+      "\n"
+      "R 1000\n"
+      "W 1008 deadbeef   # trailing comment\n"
+      "r 20\n"
+      "w 28 0\n"};
+  const std::vector<MemAccess> trace = read_text_trace(ss);
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace[0], (MemAccess{0x1000, Op::kRead, 0}));
+  EXPECT_EQ(trace[1], (MemAccess{0x1008, Op::kWrite, 0xdeadbeef}));
+  EXPECT_EQ(trace[2], (MemAccess{0x20, Op::kRead, 0}));
+  EXPECT_EQ(trace[3], (MemAccess{0x28, Op::kWrite, 0}));
+}
+
+TEST(TextTrace, RejectsMalformedInput) {
+  auto expect_fail = [](const std::string& body, const std::string& why) {
+    std::stringstream ss{body};
+    EXPECT_THROW((void)read_text_trace(ss), std::runtime_error) << why;
+  };
+  expect_fail("X 1000\n", "unknown op");
+  expect_fail("R\n", "missing address");
+  expect_fail("W 1000\n", "missing value");
+  expect_fail("R zzz\n", "bad hex");
+  expect_fail("R 1001\n", "misaligned address");
+  expect_fail("R 1000 extra\n", "trailing junk");
+  expect_fail("W 1000 5 extra\n", "trailing junk");
+}
+
+TEST(TextTrace, ErrorsNameTheLine) {
+  std::stringstream ss{"R 1000\nR 1008\nX 1010\n"};
+  try {
+    (void)read_text_trace(ss);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("line 3"), std::string::npos);
+  }
+}
+
+TEST(TextTrace, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/nvmenc_text_trace.txt";
+  const std::vector<MemAccess> trace{{0x40, Op::kWrite, 0xBEEF},
+                                     {0x88, Op::kRead, 0}};
+  write_text_trace(path, trace);
+  EXPECT_EQ(read_text_trace(path), trace);
+  EXPECT_THROW((void)read_text_trace(std::string{"/no/such/file"}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nvmenc

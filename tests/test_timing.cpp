@@ -1,0 +1,152 @@
+#include "nvm/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/perf.hpp"
+
+namespace nvmenc {
+namespace {
+
+MemOrg simple_org() {
+  MemOrg org;
+  org.channels = 1;
+  org.ranks = 1;
+  org.banks = 2;
+  org.row_bytes = 4096;
+  org.t_read_ns = 100;
+  org.t_write_ns = 150;
+  org.t_row_cycle_ns = 60;
+  org.t_bus_ns = 8;
+  return org;
+}
+
+TEST(MemOrg, Validation) {
+  MemOrg bad = simple_org();
+  bad.banks = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = simple_org();
+  bad.row_bytes = 100;  // not line-aligned
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(simple_org().validate());
+}
+
+TEST(Timing, DecomposeInterleavesRowsAcrossBanks) {
+  MemoryTimingModel model{simple_org()};
+  const BankAddress a = model.decompose(0);
+  const BankAddress b = model.decompose(4096);   // next row
+  const BankAddress c = model.decompose(8192);   // row after
+  EXPECT_EQ(a.bank, 0u);
+  EXPECT_EQ(b.bank, 1u);
+  EXPECT_EQ(c.bank, 0u);
+  EXPECT_EQ(c.row, a.row + 1);
+  // Lines within one row share bank and row.
+  const BankAddress a2 = model.decompose(64);
+  EXPECT_EQ(a2.bank, a.bank);
+  EXPECT_EQ(a2.row, a.row);
+}
+
+TEST(Timing, ColdReadPaysRowCycle) {
+  MemoryTimingModel model{simple_org()};
+  const double done = model.access(0, MemOp::kRead, 0.0);
+  EXPECT_DOUBLE_EQ(done, 60 + 100 + 8);
+  EXPECT_EQ(model.stats().row_misses, 1u);
+}
+
+TEST(Timing, RowHitSkipsRowCycle) {
+  MemoryTimingModel model{simple_org()};
+  (void)model.access(0, MemOp::kRead, 0.0);
+  const double start = 1000.0;
+  const double done = model.access(64, MemOp::kRead, start);  // same row
+  EXPECT_DOUBLE_EQ(done, start + 100 + 8);
+  EXPECT_EQ(model.stats().row_hits, 1u);
+}
+
+TEST(Timing, RowConflictReopens) {
+  MemoryTimingModel model{simple_org()};
+  (void)model.access(0, MemOp::kRead, 0.0);
+  // Same bank (bank 0), different row: 2 rows ahead.
+  const double done = model.access(8192, MemOp::kRead, 1000.0);
+  EXPECT_DOUBLE_EQ(done, 1000 + 60 + 100 + 8);
+  EXPECT_EQ(model.stats().row_misses, 2u);
+}
+
+TEST(Timing, BusyBankQueuesRequest) {
+  MemoryTimingModel model{simple_org()};
+  const double first = model.access(0, MemOp::kWrite, 0.0);
+  // Second request to the same bank arrives while it is busy.
+  const double second = model.access(64, MemOp::kRead, 10.0);
+  EXPECT_DOUBLE_EQ(second, first + 100 + 8);  // row hit after the write
+  EXPECT_GT(second - 10.0, 100 + 8);          // latency includes queueing
+}
+
+TEST(Timing, DifferentBanksOverlapButShareBus) {
+  MemoryTimingModel model{simple_org()};
+  const double a = model.access(0, MemOp::kRead, 0.0);     // bank 0
+  const double b = model.access(4096, MemOp::kRead, 0.0);  // bank 1
+  // Arrays overlap; the second transfer waits only for the bus.
+  EXPECT_DOUBLE_EQ(a, 168.0);
+  EXPECT_DOUBLE_EQ(b, 176.0);  // 168 + bus
+}
+
+TEST(Timing, EncodeLatencyAddsToWritesOnly) {
+  MemOrg org = simple_org();
+  org.encode_latency_ns = 3.47;
+  MemoryTimingModel model{org};
+  const double w = model.access(0, MemOp::kWrite, 0.0);
+  EXPECT_DOUBLE_EQ(w, 60 + 3.47 + 150 + 8);
+  MemoryTimingModel model2{org};
+  const double r = model2.access(0, MemOp::kRead, 0.0);
+  EXPECT_DOUBLE_EQ(r, 60 + 100 + 8);
+}
+
+TEST(Timing, StatsLatencyAveragesAccumulate) {
+  MemoryTimingModel model{simple_org()};
+  (void)model.access(0, MemOp::kRead, 0.0);
+  (void)model.access(64, MemOp::kRead, 500.0);
+  EXPECT_EQ(model.stats().reads, 2u);
+  EXPECT_NEAR(model.stats().read_latency_ns.mean(), (168.0 + 108.0) / 2,
+              1e-9);
+}
+
+TEST(Timing, BankFreeAtBoundsChecked) {
+  MemoryTimingModel model{simple_org()};
+  EXPECT_THROW((void)model.bank_free_at(1, 0), std::invalid_argument);
+  EXPECT_THROW((void)model.bank_free_at(0, 2), std::invalid_argument);
+  EXPECT_EQ(model.bank_free_at(0, 0), 0.0);
+}
+
+TEST(PerfReplay, ReadsStallWritesPost) {
+  PerfConfig pc;
+  pc.org = simple_org();
+  pc.cpu_gap_ns = 10.0;
+  // read (stalls), write (posted), read.
+  const std::vector<MemRequest> reqs{
+      {0, false}, {4096, true}, {8192, false}};
+  const PerfResult r = run_timing(reqs, pc);
+  EXPECT_EQ(r.timing.reads, 2u);
+  EXPECT_EQ(r.timing.writes, 1u);
+  EXPECT_GT(r.total_ns, 2 * (60 + 100 + 8));
+}
+
+TEST(PerfReplay, HigherEncodeLatencySlowsWriteHeavyStreams) {
+  std::vector<MemRequest> reqs;
+  for (u64 i = 0; i < 2000; ++i) {
+    reqs.push_back({i * 64, i % 2 == 0});
+  }
+  PerfConfig fast;
+  fast.org = simple_org();
+  PerfConfig slow = fast;
+  slow.org.encode_latency_ns = 200.0;
+  const PerfResult a = run_timing(reqs, fast);
+  const PerfResult b = run_timing(reqs, slow);
+  EXPECT_GT(b.total_ns, a.total_ns);
+}
+
+TEST(PerfReplay, EmptyStream) {
+  const PerfResult r = run_timing({}, PerfConfig{});
+  EXPECT_EQ(r.total_ns, 0.0);
+  EXPECT_EQ(r.timing.reads, 0u);
+}
+
+}  // namespace
+}  // namespace nvmenc

@@ -1,0 +1,73 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace nvmenc {
+namespace {
+
+TEST(MemAccess, LineAddrAndWordIndex) {
+  MemAccess a{.addr = 0x1000 + 3 * 8, .op = Op::kWrite, .value = 7};
+  EXPECT_EQ(a.line_addr(), 0x1000u);
+  EXPECT_EQ(a.word_index(), 3u);
+  MemAccess b{.addr = 0x1040, .op = Op::kRead, .value = 0};
+  EXPECT_EQ(b.line_addr(), 0x1040u);
+  EXPECT_EQ(b.word_index(), 0u);
+}
+
+TEST(TraceIo, EmptyRoundTrip) {
+  std::stringstream ss;
+  write_trace(ss, {});
+  EXPECT_TRUE(read_trace(ss).empty());
+}
+
+TEST(TraceIo, RoundTripsRecords) {
+  std::vector<MemAccess> trace;
+  Xoshiro256 rng{5};
+  for (int i = 0; i < 1000; ++i) {
+    trace.push_back({rng.next() & ~u64{7},
+                     rng.next_bool(0.5) ? Op::kWrite : Op::kRead,
+                     rng.next()});
+  }
+  std::stringstream ss;
+  write_trace(ss, trace);
+  const std::vector<MemAccess> back = read_trace(ss);
+  ASSERT_EQ(back.size(), trace.size());
+  for (usize i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(back[i], trace[i]) << "record " << i;
+  }
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "NOTATRACE-file-content";
+  EXPECT_THROW((void)read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncatedBody) {
+  std::vector<MemAccess> trace{{0x40, Op::kWrite, 1}, {0x80, Op::kRead, 0}};
+  std::stringstream ss;
+  write_trace(ss, trace);
+  std::string data = ss.str();
+  data.resize(data.size() - 5);
+  std::stringstream cut{data};
+  EXPECT_THROW((void)read_trace(cut), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/nvmenc_trace_test.bin";
+  std::vector<MemAccess> trace{{0x40, Op::kWrite, 0xDEAD},
+                               {0x88, Op::kRead, 0}};
+  write_trace(path, trace);
+  EXPECT_EQ(read_trace(path), trace);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_trace(std::string{"/no/such/file.bin"}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nvmenc

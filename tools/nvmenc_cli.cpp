@@ -1,0 +1,293 @@
+// nvmenc — command-line front-end to the simulation stack.
+//
+//   nvmenc list
+//       Available schemes and workload profiles.
+//   nvmenc run --benchmark=gcc --scheme=READ+SAE [--accesses=N] [--seed=S]
+//       One full pipeline run (workload -> caches -> controller -> PCM);
+//       prints the controller statistics.
+//   nvmenc matrix [--benchmarks=a,b,...] [--schemes=x,y,...] [--csv=dir]
+//       The scheme x benchmark experiment matrix, normalized to DCW.
+//   nvmenc trace --benchmark=gcc --out=file.trace [--accesses=N] [--seed=S]
+//              [--format=bin|text]
+//       Captures the CPU access stream to a trace file.
+//   nvmenc replay --in=file.trace --scheme=READ+SAE [--format=bin|text]
+//       Replays a recorded trace (cold, all-zero memory) through the
+//       caches and the chosen encoder; prints controller statistics.
+//   nvmenc perf --benchmark=gcc [--accesses=N] [--encode-ns=X] [--sched]
+//       Timing replay through the banked memory model.
+#include <iostream>
+#include <sstream>
+
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+#include "sim/perf.hpp"
+#include "sim/simulator.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/text_trace.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/trace_workload.hpp"
+
+using namespace nvmenc;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string benchmark = "gcc";
+  std::string scheme = "READ+SAE";
+  std::string benchmarks;
+  std::string schemes;
+  std::string out;
+  std::string in;
+  std::string format = "bin";
+  std::string csv_dir;
+  u64 accesses = 500'000;
+  u64 seed = 42;
+  double encode_ns = 3.47;
+  bool sched = false;
+};
+
+[[noreturn]] void usage() {
+  std::cerr <<
+      "usage: nvmenc <list|run|matrix|trace> [options]\n"
+      "  run:    --benchmark=NAME --scheme=NAME [--accesses=N] [--seed=S]\n"
+      "  matrix: [--benchmarks=a,b] [--schemes=x,y] [--csv=dir]\n"
+      "  trace:  --benchmark=NAME --out=FILE [--accesses=N] [--seed=S]\n"
+      "          [--format=bin|text]\n"
+      "  replay: --in=FILE --scheme=NAME [--format=bin|text]\n"
+      "  perf:   --benchmark=NAME [--accesses=N] [--encode-ns=X] "
+      "[--sched]\n";
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  if (argc < 2) usage();
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const std::string& key) -> std::optional<std::string> {
+      const std::string prefix = "--" + key + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (auto v = value("benchmark")) args.benchmark = *v;
+    else if (auto v2 = value("scheme")) args.scheme = *v2;
+    else if (auto v3 = value("benchmarks")) args.benchmarks = *v3;
+    else if (auto v4 = value("schemes")) args.schemes = *v4;
+    else if (auto v5 = value("out")) args.out = *v5;
+    else if (auto v5b = value("in")) args.in = *v5b;
+    else if (auto v5c = value("format")) args.format = *v5c;
+    else if (auto v6 = value("csv")) args.csv_dir = *v6;
+    else if (auto v7 = value("accesses")) args.accesses = std::stoull(*v7);
+    else if (auto v8 = value("seed")) args.seed = std::stoull(*v8);
+    else if (auto v9 = value("encode-ns")) args.encode_ns = std::stod(*v9);
+    else if (arg == "--sched") args.sched = true;
+    else usage();
+  }
+  return args;
+}
+
+std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> out;
+  std::stringstream ss{list};
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int cmd_list() {
+  std::cout << "schemes:\n";
+  for (Scheme s :
+       {Scheme::kDcw, Scheme::kFnw, Scheme::kAfnw, Scheme::kCoef,
+        Scheme::kCafo, Scheme::kRead, Scheme::kReadSae, Scheme::kSaeOnly,
+        Scheme::kFlipMin, Scheme::kPres, Scheme::kReadPaper,
+        Scheme::kReadSaePaper, Scheme::kAfnwPaper}) {
+    std::cout << "  " << scheme_name(s)
+              << (is_paper_model(s) ? "   (paper accounting model)" : "")
+              << "\n";
+  }
+  std::cout << "benchmarks:\n";
+  for (const WorkloadProfile& p : spec2006_profiles()) {
+    std::cout << "  " << p.name << "  (E[dirty words] "
+              << TextTable::fmt(p.expected_dirty_words(), 2) << ")\n";
+  }
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  const Scheme scheme = scheme_by_name(args.scheme);
+  if (is_paper_model(scheme)) {
+    std::cerr << "paper-model schemes run through `matrix`, not `run`\n";
+    return 2;
+  }
+  SimConfig config;
+  config.caches = scaled_hierarchy();
+  Simulator sim{config,
+                std::make_unique<SyntheticWorkload>(
+                    profile_by_name(args.benchmark), args.seed),
+                scheme};
+  sim.warmup();
+  sim.run(args.accesses);
+  const ControllerStats& s = sim.stats();
+
+  TextTable table{{"metric", "value"}};
+  table.add_row({"benchmark", args.benchmark});
+  table.add_row({"scheme", scheme_name(scheme)});
+  table.add_row({"CPU accesses", std::to_string(args.accesses)});
+  table.add_row({"write-backs", std::to_string(s.writebacks)});
+  table.add_row({"silent write-backs", std::to_string(s.silent_writebacks)});
+  table.add_row({"demand reads", std::to_string(s.demand_reads)});
+  table.add_row({"bit flips (data)", std::to_string(s.flips.data)});
+  table.add_row({"bit flips (tag)", std::to_string(s.flips.tag)});
+  table.add_row({"bit flips (flag)", std::to_string(s.flips.flag)});
+  table.add_row({"flips per write-back",
+                 TextTable::fmt(static_cast<double>(s.flips.total()) /
+                                static_cast<double>(s.writebacks))});
+  table.add_row({"tag utilization", TextTable::fmt(s.tag_utilization())});
+  table.add_row({"energy (uJ)",
+                 TextTable::fmt(s.energy.total_pj() / 1e6, 2)});
+  table.add_row({"memory busy (ms)",
+                 TextTable::fmt(s.energy.busy_ns / 1e6, 2)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_matrix(const Args& args) {
+  std::vector<WorkloadProfile> profiles;
+  if (args.benchmarks.empty()) {
+    profiles = spec2006_profiles();
+  } else {
+    for (const std::string& name : split_csv(args.benchmarks)) {
+      profiles.push_back(profile_by_name(name));
+    }
+  }
+  std::vector<Scheme> schemes;
+  if (args.schemes.empty()) {
+    schemes = figure_schemes();
+  } else {
+    schemes.push_back(Scheme::kDcw);  // the normalization baseline
+    for (const std::string& name : split_csv(args.schemes)) {
+      const Scheme s = scheme_by_name(name);
+      if (s != Scheme::kDcw) schemes.push_back(s);
+    }
+  }
+  ExperimentConfig cfg;
+  cfg.seed = args.seed;
+  cfg.collector.measured_accesses = args.accesses;
+  const ExperimentMatrix m =
+      run_experiment(profiles, schemes, cfg, &std::cout);
+  std::cout << "\nbit flips normalized to DCW:\n";
+  const TextTable flips = m.normalized_table(metric_total_flips(),
+                                             Scheme::kDcw);
+  flips.print(std::cout);
+  std::cout << "\nenergy normalized to DCW:\n";
+  const TextTable energy = m.normalized_table(metric_energy(), Scheme::kDcw);
+  energy.print(std::cout);
+  if (!args.csv_dir.empty()) {
+    flips.write_csv_file(args.csv_dir + "/matrix_flips.csv");
+    energy.write_csv_file(args.csv_dir + "/matrix_energy.csv");
+    std::cout << "\n[csv] written to " << args.csv_dir << "\n";
+  }
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  if (args.out.empty()) usage();
+  SyntheticWorkload workload{profile_by_name(args.benchmark), args.seed};
+  std::vector<MemAccess> accesses;
+  accesses.reserve(args.accesses);
+  for (u64 i = 0; i < args.accesses; ++i) accesses.push_back(workload.next());
+  if (args.format == "text") {
+    write_text_trace(args.out, accesses);
+  } else {
+    write_trace(args.out, accesses);
+  }
+  std::cout << "wrote " << accesses.size() << " accesses to " << args.out
+            << "\n";
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  if (args.in.empty()) usage();
+  const Scheme scheme = scheme_by_name(args.scheme);
+  if (is_paper_model(scheme)) {
+    std::cerr << "paper-model schemes run through `matrix`, not `replay`\n";
+    return 2;
+  }
+  std::vector<MemAccess> accesses = args.format == "text"
+                                        ? read_text_trace(args.in)
+                                        : read_trace(args.in);
+  const usize n = accesses.size();
+  SimConfig config;
+  config.caches = scaled_hierarchy();
+  config.warmup_accesses = 0;
+  Simulator sim{config,
+                std::make_unique<TraceWorkload>(std::move(accesses), args.in),
+                scheme};
+  sim.run(n);
+  sim.drain();
+  const ControllerStats& s = sim.stats();
+  TextTable table{{"metric", "value"}};
+  table.add_row({"trace", args.in});
+  table.add_row({"scheme", scheme_name(scheme)});
+  table.add_row({"accesses", std::to_string(n)});
+  table.add_row({"write-backs", std::to_string(s.writebacks)});
+  table.add_row({"bit flips", std::to_string(s.flips.total())});
+  table.add_row({"tag flips", std::to_string(s.flips.tag)});
+  table.add_row({"energy (uJ)",
+                 TextTable::fmt(s.energy.total_pj() / 1e6, 2)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_perf(const Args& args) {
+  ExperimentConfig cfg;
+  cfg.seed = args.seed;
+  cfg.collector.measured_accesses = args.accesses;
+  cfg.collector.record_requests = true;
+  SyntheticWorkload workload{profile_by_name(args.benchmark), args.seed};
+  const WritebackTrace trace = collect_writebacks(workload, cfg.collector);
+
+  PerfConfig pc;
+  pc.org.encode_latency_ns = args.encode_ns;
+  pc.use_write_queue = args.sched;
+  const PerfResult r = run_timing(trace.requests, pc);
+
+  TextTable table{{"metric", "value"}};
+  table.add_row({"benchmark", args.benchmark});
+  table.add_row({"requests", std::to_string(trace.requests.size())});
+  table.add_row({"encode latency (ns)", TextTable::fmt(args.encode_ns, 2)});
+  table.add_row({"write queue", args.sched ? "on" : "off"});
+  table.add_row({"execution time (ms)", TextTable::fmt(r.total_ns / 1e6, 2)});
+  table.add_row({"avg read latency (ns)",
+                 TextTable::fmt(r.avg_read_latency_ns(), 1)});
+  table.add_row({"row hit rate", TextTable::fmt(r.timing.row_hit_rate(), 3)});
+  if (args.sched) {
+    table.add_row({"forwarded reads",
+                   std::to_string(r.scheduler.forwarded_reads)});
+    table.add_row({"drain episodes", std::to_string(r.scheduler.drains)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse(argc, argv);
+    if (args.command == "list") return cmd_list();
+    if (args.command == "run") return cmd_run(args);
+    if (args.command == "matrix") return cmd_matrix(args);
+    if (args.command == "trace") return cmd_trace(args);
+    if (args.command == "replay") return cmd_replay(args);
+    if (args.command == "perf") return cmd_perf(args);
+    usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
