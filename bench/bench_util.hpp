@@ -17,6 +17,7 @@ namespace nvmenc::bench {
 struct Options {
   std::string csv_dir;  // empty = no CSV output
   bool quick = false;
+  usize jobs = 0;  // matrix workers; 0 = one per hardware context
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -25,10 +26,19 @@ inline Options parse_options(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--csv=", 0) == 0) {
       opt.csv_dir = arg.substr(6);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      try {
+        opt.jobs = std::stoul(arg.substr(7));
+      } catch (const std::exception&) {
+        std::cerr << "invalid --jobs value: " << arg.substr(7)
+                  << " (expected a number)\n";
+        std::exit(2);
+      }
     } else if (arg == "--quick") {
       opt.quick = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: " << argv[0] << " [--quick] [--csv=<dir>]\n";
+      std::cout << "usage: " << argv[0]
+                << " [--quick] [--csv=<dir>] [--jobs=<n>]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown option: " << arg << "\n";
@@ -47,6 +57,7 @@ inline ExperimentConfig figure_config(const Options& opt) {
   cfg.collector.warmup_accesses = opt.quick ? 20'000 : 100'000;
   cfg.collector.measured_accesses = opt.quick ? 60'000 : 400'000;
   cfg.seed = 42;
+  cfg.jobs = opt.jobs;
   return cfg;
 }
 

@@ -2,10 +2,18 @@
 // (Table 2: 4 cores over a shared L3). Three representative mixes:
 // silent-heavy, integer/pointer, and floating-point, each run through the
 // shared hierarchy and the full scheme set.
+//
+// The mixes and their replay cells are independent, so the bench drives
+// the runner subsystem directly: every mix's collection and every
+// (mix, scheme) replay fans out across one ThreadPool (--jobs=N, default
+// one worker per hardware context).
 #include "bench_util.hpp"
 
 #include <memory>
 
+#include "runner/parallel_for.hpp"
+#include "runner/parallel_runner.hpp"
+#include "runner/thread_pool.hpp"
 #include "trace/mixed.hpp"
 #include "trace/synthetic.hpp"
 
@@ -13,12 +21,11 @@ namespace nvmenc {
 namespace {
 
 std::unique_ptr<MixedWorkload> make_mix(
-    const std::vector<std::string>& names, u64 seed) {
+    const std::vector<std::string>& names, u64 mix_seed) {
   std::vector<std::unique_ptr<WorkloadGenerator>> cores;
-  u64 core_seed = seed;
-  for (const std::string& name : names) {
+  for (usize core = 0; core < names.size(); ++core) {
     cores.push_back(std::make_unique<SyntheticWorkload>(
-        profile_by_name(name), core_seed++));
+        profile_by_name(names[core]), benchmark_seed(mix_seed, core)));
   }
   return std::make_unique<MixedWorkload>(std::move(cores));
 }
@@ -32,23 +39,41 @@ int run(const bench::Options& opt) {
       {"gcc", "omnetpp", "xalancbmk", "bzip2"},    // int/pointer
       {"milc", "wrf", "leslie3d", "sphinx3"},      // floating point
   };
+  const std::vector<Scheme>& schemes = figure_schemes();
+  const usize num_schemes = schemes.size();
+
+  // Phase a: collect every mix's write-back trace concurrently. The
+  // workloads must outlive the replays (traces refer into them).
+  std::vector<std::unique_ptr<MixedWorkload>> workloads(mixes.size());
+  std::vector<WritebackTrace> traces(mixes.size());
+  ProgressReporter progress{&std::cout, mixes.size()};
+  ThreadPool pool{resolve_jobs(opt.jobs)};
+  parallel_for(pool, mixes.size(), [&](usize m) {
+    workloads[m] = make_mix(mixes[m], benchmark_seed(cfg.seed, m));
+    traces[m] = collect_writebacks(*workloads[m], cfg.collector);
+    progress.job_done(workloads[m]->name(),
+                      std::to_string(traces[m].measured.size()) +
+                          " write-backs");
+  });
+
+  // Phase b: every (mix, scheme) replay cell as one flat batch.
+  std::vector<std::vector<ReplayResult>> cells(
+      mixes.size(), std::vector<ReplayResult>(num_schemes));
+  parallel_for(pool, mixes.size() * num_schemes, [&](usize cell) {
+    const usize m = cell / num_schemes;
+    const usize s = cell % num_schemes;
+    cells[m][s] = replay_scheme(traces[m], schemes[s], cfg.energy);
+  });
 
   std::vector<std::string> header{"mix"};
-  for (Scheme s : figure_schemes()) header.push_back(scheme_name(s));
+  for (Scheme s : schemes) header.push_back(scheme_name(s));
   TextTable table{std::move(header)};
-
-  for (const auto& names : mixes) {
-    std::unique_ptr<MixedWorkload> workload = make_mix(names, cfg.seed);
-    const WritebackTrace trace = collect_writebacks(*workload, cfg.collector);
-    std::cout << "  " << workload->name() << ": " << trace.measured.size()
-              << " write-backs\n";
-
-    const ReplayResult dcw = replay_scheme(trace, Scheme::kDcw, cfg.energy);
-    std::vector<std::string> row{workload->name()};
-    for (Scheme s : figure_schemes()) {
-      const ReplayResult r = replay_scheme(trace, s, cfg.energy);
+  for (usize m = 0; m < mixes.size(); ++m) {
+    const ReplayResult& dcw = cells[m][0];  // figure_schemes()[0] == DCW
+    std::vector<std::string> row{workloads[m]->name()};
+    for (usize s = 0; s < num_schemes; ++s) {
       row.push_back(TextTable::fmt(
-          static_cast<double>(r.stats.flips.total()) /
+          static_cast<double>(cells[m][s].stats.flips.total()) /
           static_cast<double>(dcw.stats.flips.total())));
     }
     table.add_row(std::move(row));

@@ -1,0 +1,40 @@
+// Job-batch helpers on top of ThreadPool.
+//
+// `parallel_for(pool, n, body)` runs body(0) .. body(n-1) on the pool and
+// blocks until every index has finished. All indices run even if one of
+// them throws; the first exception (in index order) is then rethrown in
+// the caller, so a failing cell cannot leave detached work behind.
+//
+// Do NOT call parallel_for from inside a pool task: the inner call would
+// block a worker waiting for jobs that need that same worker, deadlocking
+// a fixed-size pool. Structure nested parallelism as flat batches instead
+// (the experiment runner fans the benchmark x scheme cells out as one
+// batch for exactly this reason).
+#pragma once
+
+#include <exception>
+#include <vector>
+
+#include "runner/thread_pool.hpp"
+
+namespace nvmenc {
+
+template <typename F>
+void parallel_for(ThreadPool& pool, usize count, F&& body) {
+  std::vector<std::future<void>> pending;
+  pending.reserve(count);
+  for (usize i = 0; i < count; ++i) {
+    pending.push_back(pool.submit([&body, i] { body(i); }));
+  }
+  std::exception_ptr first_error;
+  for (std::future<void>& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace nvmenc

@@ -1,0 +1,118 @@
+#include "runner/parallel_runner.hpp"
+
+#include <memory>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "runner/parallel_for.hpp"
+#include "runner/thread_pool.hpp"
+#include "trace/synthetic.hpp"
+
+namespace nvmenc {
+
+usize resolve_jobs(usize jobs) noexcept {
+  return jobs == 0 ? ThreadPool::default_thread_count() : jobs;
+}
+
+u64 benchmark_seed(u64 seed, usize index) noexcept {
+  SplitMix64 stream{seed};
+  u64 child = stream.next();
+  for (usize i = 0; i < index; ++i) child = stream.next();
+  return child;
+}
+
+namespace {
+
+/// Collected state of one benchmark. The workload must stay alive for as
+/// long as the trace is replayed: WritebackTrace::initial_line refers back
+/// into it (SyntheticWorkload::initial_line is const and pure, so
+/// concurrent replay cells may share it).
+struct CollectedBenchmark {
+  std::unique_ptr<SyntheticWorkload> workload;
+  WritebackTrace trace;
+};
+
+std::string collect_detail(const WritebackTrace& trace) {
+  std::ostringstream detail;
+  detail << trace.measured.size() << " write-backs, " << trace.demand_reads
+         << " demand reads";
+  return detail.str();
+}
+
+}  // namespace
+
+ParallelExperimentRunner::ParallelExperimentRunner(RunnerConfig config)
+    : jobs_{resolve_jobs(config.jobs)} {}
+
+ExperimentMatrix ParallelExperimentRunner::run(
+    const std::vector<WorkloadProfile>& profiles,
+    std::vector<Scheme> schemes, const ExperimentConfig& config,
+    ProgressReporter* progress) const {
+  const usize num_benchmarks = profiles.size();
+  const usize num_schemes = schemes.size();
+
+  std::vector<std::string> names;
+  names.reserve(num_benchmarks);
+  for (const WorkloadProfile& profile : profiles) {
+    names.push_back(profile.name);
+  }
+
+  std::vector<CollectedBenchmark> collected(num_benchmarks);
+  std::vector<std::vector<ReplayResult>> results(
+      num_benchmarks, std::vector<ReplayResult>(num_schemes));
+
+  auto collect_one = [&](usize b) {
+    collected[b].workload = std::make_unique<SyntheticWorkload>(
+        profiles[b], benchmark_seed(config.seed, b));
+    collected[b].trace =
+        collect_writebacks(*collected[b].workload, config.collector);
+    if (progress != nullptr) {
+      progress->job_done(profiles[b].name,
+                         collect_detail(collected[b].trace));
+    }
+  };
+  auto replay_one = [&](usize b, usize s) {
+    results[b][s] =
+        replay_scheme(collected[b].trace, schemes[s], config.energy);
+  };
+
+  if (jobs_ == 1) {
+    // Serial reference path: the plain nested loops the parallel phases
+    // must match cell-for-cell.
+    for (usize b = 0; b < num_benchmarks; ++b) {
+      collect_one(b);
+      for (usize s = 0; s < num_schemes; ++s) replay_one(b, s);
+    }
+  } else {
+    ThreadPool pool{jobs_};
+    parallel_for(pool, num_benchmarks, collect_one);
+    parallel_for(pool, num_benchmarks * num_schemes, [&](usize cell) {
+      replay_one(cell / num_schemes, cell % num_schemes);
+    });
+  }
+
+  if (progress != nullptr) {
+    std::ostringstream summary;
+    summary.setf(std::ios::fixed);
+    summary.precision(1);
+    summary << "  [runner] " << num_benchmarks << "x" << num_schemes
+            << " cells, jobs=" << jobs_ << ", "
+            << progress->elapsed_seconds() << "s";
+    progress->announce(summary.str());
+  }
+  return {std::move(names), std::move(schemes), std::move(results)};
+}
+
+ExperimentMatrix run_experiment(const std::vector<WorkloadProfile>& profiles,
+                                std::vector<Scheme> schemes,
+                                const ExperimentConfig& config,
+                                std::ostream* progress_stream) {
+  const ParallelExperimentRunner runner{RunnerConfig{config.jobs}};
+  if (progress_stream == nullptr) {
+    return runner.run(profiles, std::move(schemes), config);
+  }
+  ProgressReporter progress{progress_stream, profiles.size()};
+  return runner.run(profiles, std::move(schemes), config, &progress);
+}
+
+}  // namespace nvmenc

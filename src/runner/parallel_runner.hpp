@@ -1,0 +1,59 @@
+// ParallelExperimentRunner: the scheme x benchmark matrix on a ThreadPool.
+//
+// The matrix is embarrassingly parallel along both axes: every benchmark's
+// trace collection owns its workload, caches and RNG, and every
+// (benchmark, scheme) replay cell builds a private NvmDevice +
+// MemoryController over a read-only shared trace. The runner exploits both:
+//
+//   phase a  collect per-benchmark write-back traces concurrently, each
+//            workload seeded with a splitmix64 child of
+//            ExperimentConfig::seed so the contents of the matrix depend
+//            only on (seed, benchmark index) — never on worker count or
+//            scheduling order;
+//   phase b  fan all benchmark x scheme replay cells out as one flat job
+//            batch (flat, so a fixed pool cannot deadlock on nested
+//            waits) and merge the results into the ExperimentMatrix in
+//            deterministic (benchmark, scheme) order.
+//
+// `jobs == 1` bypasses the pool entirely and runs the exact serial loops,
+// guaranteed cell-for-cell identical to the parallel path (covered by
+// tests/test_parallel_runner.cpp).
+#pragma once
+
+#include "runner/progress.hpp"
+#include "sim/experiment.hpp"
+
+namespace nvmenc {
+
+struct RunnerConfig {
+  /// Worker threads; 0 = one per hardware context, 1 = serial (no pool).
+  usize jobs = 0;
+};
+
+/// Resolves a jobs request (0 = auto) to the actual worker count.
+[[nodiscard]] usize resolve_jobs(usize jobs) noexcept;
+
+/// Child seed for benchmark `index` of an experiment seeded with `seed`:
+/// the (index+1)-th splitmix64 output. Benchmarks get decorrelated,
+/// order-independent streams, so two copies of the same profile in one
+/// experiment produce independent traces.
+[[nodiscard]] u64 benchmark_seed(u64 seed, usize index) noexcept;
+
+class ParallelExperimentRunner {
+ public:
+  explicit ParallelExperimentRunner(RunnerConfig config = {});
+
+  /// Runs the full matrix. `progress`, when non-null, receives one line
+  /// per collected benchmark and a closing summary line.
+  [[nodiscard]] ExperimentMatrix run(
+      const std::vector<WorkloadProfile>& profiles,
+      std::vector<Scheme> schemes, const ExperimentConfig& config,
+      ProgressReporter* progress = nullptr) const;
+
+  [[nodiscard]] usize jobs() const noexcept { return jobs_; }
+
+ private:
+  usize jobs_;
+};
+
+}  // namespace nvmenc

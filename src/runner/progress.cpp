@@ -1,0 +1,51 @@
+#include "runner/progress.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace nvmenc {
+
+ProgressReporter::ProgressReporter(std::ostream* sink, usize total_jobs)
+    : sink_{sink},
+      total_{total_jobs},
+      start_{std::chrono::steady_clock::now()} {}
+
+void ProgressReporter::announce(const std::string& line) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (sink_ == nullptr) return;
+  *sink_ << line << "\n";
+  sink_->flush();
+}
+
+void ProgressReporter::job_done(const std::string& name,
+                                const std::string& detail) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  ++done_;
+  if (sink_ == nullptr) return;
+  std::ostringstream line;
+  line << "  " << name << ": " << detail << " [" << done_;
+  if (total_ > 0) line << "/" << total_;
+  line << ", ";
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_)
+          .count();
+  line.setf(std::ios::fixed);
+  line.precision(1);
+  line << secs << "s]";
+  *sink_ << line.str() << "\n";
+  sink_->flush();
+}
+
+usize ProgressReporter::completed() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return done_;
+}
+
+double ProgressReporter::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+}  // namespace nvmenc

@@ -1,0 +1,46 @@
+// Thread-safe progress sink for parallel runs.
+//
+// Workers complete in scheduling order, not submission order, so progress
+// lines must be serialized through one mutex-guarded writer. The reporter
+// prepends nothing to announce() lines (callers keep their own format) and
+// renders job_done() as
+//   "  <name>: <detail> [k/n, 12.3s]"
+// which keeps the serial runner's historical per-benchmark lines readable
+// while adding the completion counter and elapsed wall clock that make a
+// parallel run followable.
+#pragma once
+
+#include <chrono>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace nvmenc {
+
+class ProgressReporter {
+ public:
+  /// `sink` may be null (all reporting becomes counting only). The
+  /// reporter does not own the stream. `total_jobs == 0` omits the "/n"
+  /// part of the counter.
+  explicit ProgressReporter(std::ostream* sink, usize total_jobs = 0);
+
+  /// Writes one raw line (newline appended).
+  void announce(const std::string& line);
+
+  /// Marks one job finished and writes its completion line.
+  void job_done(const std::string& name, const std::string& detail);
+
+  [[nodiscard]] usize completed() const;
+  [[nodiscard]] double elapsed_seconds() const;
+
+ private:
+  std::ostream* sink_;
+  usize total_;
+  usize done_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace nvmenc

@@ -1,10 +1,7 @@
 #include "sim/experiment.hpp"
 
-#include <ostream>
-
 #include "common/error.hpp"
 #include "common/stats.hpp"
-#include "trace/synthetic.hpp"
 
 namespace nvmenc {
 
@@ -108,34 +105,7 @@ ExperimentMatrix::Metric metric_lifetime() {
   };
 }
 
-ExperimentMatrix run_experiment(const std::vector<WorkloadProfile>& profiles,
-                                std::vector<Scheme> schemes,
-                                const ExperimentConfig& config,
-                                std::ostream* progress) {
-  std::vector<std::string> names;
-  std::vector<std::vector<ReplayResult>> results;
-  names.reserve(profiles.size());
-  results.reserve(profiles.size());
-
-  for (const WorkloadProfile& profile : profiles) {
-    SyntheticWorkload workload{profile, config.seed};
-    const WritebackTrace trace = collect_writebacks(workload,
-                                                    config.collector);
-    std::vector<ReplayResult> row;
-    row.reserve(schemes.size());
-    for (Scheme scheme : schemes) {
-      row.push_back(replay_scheme(trace, scheme, config.energy));
-    }
-    if (progress != nullptr) {
-      *progress << "  " << profile.name << ": "
-                << trace.measured.size() << " write-backs, "
-                << trace.demand_reads << " demand reads\n";
-      progress->flush();
-    }
-    names.push_back(profile.name);
-    results.push_back(std::move(row));
-  }
-  return {std::move(names), std::move(schemes), std::move(results)};
-}
+// run_experiment is defined in src/runner/parallel_runner.cpp: the matrix
+// is executed by ParallelExperimentRunner (serial loops when jobs == 1).
 
 }  // namespace nvmenc

@@ -23,6 +23,11 @@ struct ExperimentConfig {
   CollectorConfig collector;
   EnergyParams energy;
   u64 seed = 42;
+  /// Worker threads for the matrix: 0 = one per hardware context,
+  /// 1 = serial. Results are bit-identical for every value (each
+  /// benchmark's workload is seeded with a splitmix64 child of `seed`,
+  /// see src/runner/parallel_runner.hpp).
+  usize jobs = 0;
 };
 
 class ExperimentMatrix {
@@ -73,8 +78,10 @@ class ExperimentMatrix {
 /// flips (Section 4.2.4), so the metric is 1 / flips.
 [[nodiscard]] ExperimentMatrix::Metric metric_lifetime();
 
-/// Runs the full matrix. `progress`, when non-null, receives one line per
-/// completed benchmark.
+/// Runs the full matrix on `config.jobs` workers (defined in
+/// src/runner/parallel_runner.cpp, which owns the thread pool; link
+/// nvmenc_runner or the nvmenc umbrella). `progress`, when non-null,
+/// receives one line per collected benchmark plus a closing summary.
 [[nodiscard]] ExperimentMatrix run_experiment(
     const std::vector<WorkloadProfile>& profiles, std::vector<Scheme> schemes,
     const ExperimentConfig& config, std::ostream* progress = nullptr);

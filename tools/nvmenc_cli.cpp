@@ -15,10 +15,12 @@
 //       caches and the chosen encoder; prints controller statistics.
 //   nvmenc perf --benchmark=gcc [--accesses=N] [--encode-ns=X] [--sched]
 //       Timing replay through the banked memory model.
+#include <chrono>
 #include <iostream>
 #include <sstream>
 
 #include "common/table.hpp"
+#include "runner/parallel_runner.hpp"
 #include "sim/experiment.hpp"
 #include "sim/perf.hpp"
 #include "sim/simulator.hpp"
@@ -43,6 +45,7 @@ struct Args {
   std::string csv_dir;
   u64 accesses = 500'000;
   u64 seed = 42;
+  usize jobs = 0;  // 0 = one worker per hardware context
   double encode_ns = 3.47;
   bool sched = false;
 };
@@ -51,7 +54,9 @@ struct Args {
   std::cerr <<
       "usage: nvmenc <list|run|matrix|trace> [options]\n"
       "  run:    --benchmark=NAME --scheme=NAME [--accesses=N] [--seed=S]\n"
-      "  matrix: [--benchmarks=a,b] [--schemes=x,y] [--csv=dir]\n"
+      "  matrix: [--benchmarks=a,b] [--schemes=x,y] [--csv=dir] [--jobs=N]\n"
+      "          (--jobs=0, the default, uses every hardware thread;\n"
+      "           --jobs=1 runs serially; results are identical either way)\n"
       "  trace:  --benchmark=NAME --out=FILE [--accesses=N] [--seed=S]\n"
       "          [--format=bin|text]\n"
       "  replay: --in=FILE --scheme=NAME [--format=bin|text]\n"
@@ -81,6 +86,7 @@ Args parse(int argc, char** argv) {
     else if (auto v6 = value("csv")) args.csv_dir = *v6;
     else if (auto v7 = value("accesses")) args.accesses = std::stoull(*v7);
     else if (auto v8 = value("seed")) args.seed = std::stoull(*v8);
+    else if (auto v8b = value("jobs")) args.jobs = std::stoull(*v8b);
     else if (auto v9 = value("encode-ns")) args.encode_ns = std::stod(*v9);
     else if (arg == "--sched") args.sched = true;
     else usage();
@@ -177,8 +183,14 @@ int cmd_matrix(const Args& args) {
   ExperimentConfig cfg;
   cfg.seed = args.seed;
   cfg.collector.measured_accesses = args.accesses;
+  cfg.jobs = args.jobs;
+  const auto matrix_start = std::chrono::steady_clock::now();
   const ExperimentMatrix m =
       run_experiment(profiles, schemes, cfg, &std::cout);
+  const double matrix_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    matrix_start)
+          .count();
   std::cout << "\nbit flips normalized to DCW:\n";
   const TextTable flips = m.normalized_table(metric_total_flips(),
                                              Scheme::kDcw);
@@ -191,6 +203,8 @@ int cmd_matrix(const Args& args) {
     energy.write_csv_file(args.csv_dir + "/matrix_energy.csv");
     std::cout << "\n[csv] written to " << args.csv_dir << "\n";
   }
+  std::cout << "\nmatrix wall-clock: " << TextTable::fmt(matrix_secs, 2)
+            << " s (jobs=" << resolve_jobs(args.jobs) << ")\n";
   return 0;
 }
 
