@@ -111,6 +111,42 @@ class BitBuf {
     return {words_.data(), (size_ + 63) / 64};
   }
 
+  // ---- Unchecked tier -------------------------------------------------
+  // Hot-path accessors with identical semantics to the checked methods
+  // above, but bounds verified only in debug builds (NVMENC_DCHECK).
+  // The encode kernels use these in their innermost loops so that
+  // require()'s unconditional branch + message setup leaves release
+  // binaries entirely. Callers own the precondition.
+
+  /// Whole aligned 64-bit word `i` (bits [64i, 64i + 64)).
+  [[nodiscard]] u64 word_at(usize i) const noexcept {
+    NVMENC_DCHECK(i * 64 < size_, "BitBuf word_at out of range");
+    return words_[i];
+  }
+
+  /// Overwrites whole aligned word `i`. The buffer must already span it.
+  void set_word_at(usize i, u64 value) noexcept {
+    NVMENC_DCHECK(i * 64 < size_, "BitBuf set_word_at out of range");
+    words_[i] = value;
+  }
+
+  [[nodiscard]] u64 bits_unchecked(usize pos, usize len) const noexcept {
+    NVMENC_DCHECK(pos + len <= size_, "BitBuf read out of range");
+    return extract_bits(std::span<const u64>{words_}, pos, len);
+  }
+
+  void flip_range_unchecked(usize pos, usize len) noexcept {
+    NVMENC_DCHECK(pos + len <= size_, "BitBuf flip out of range");
+    nvmenc::flip_range(std::span<u64>{words_}, pos, len);
+  }
+
+  [[nodiscard]] usize hamming_range_unchecked(const BitBuf& other, usize pos,
+                                              usize len) const noexcept {
+    NVMENC_DCHECK(pos + len <= size_ && pos + len <= other.size_,
+                  "BitBuf hamming out of range");
+    return nvmenc::hamming_range(words_, other.words_, pos, len);
+  }
+
  private:
   std::array<u64, kCapacityBits / 64> words_;
   usize size_;

@@ -65,6 +65,7 @@ constexpr void flip_bit(std::span<u64> words, usize pos) noexcept {
                                          usize len) noexcept {
   const usize word = pos / 64;
   const usize off = pos % 64;
+  if (off == 0) return words[word] & low_mask(len);  // word-aligned fast path
   u64 value = words[word] >> off;
   if (off + len > 64 && word + 1 < words.size()) {
     value |= words[word + 1] << (64 - off);
@@ -89,37 +90,49 @@ constexpr void deposit_bits(std::span<u64> words, usize pos, usize len,
 }
 
 /// Hamming distance restricted to bits [pos, pos + len) of two word arrays.
+///
+/// Segments handed out by the encoders are 64-bit-aligned whenever
+/// `seg_bits % 64 == 0` (the common case for READ's pooled segments), so
+/// the loop body is a straight word-XOR-popcount there; an unaligned head
+/// and a short tail are peeled off with masks, never re-extracting a bit
+/// twice.
 [[nodiscard]] inline usize hamming_range(std::span<const u64> a,
                                          std::span<const u64> b, usize pos,
                                          usize len) noexcept {
   usize d = 0;
-  usize p = pos;
-  usize remaining = len;
-  while (remaining > 0) {
-    const usize chunk = remaining < 64 ? remaining : 64;
-    d += hamming(extract_bits(a, p, chunk), extract_bits(b, p, chunk));
-    p += chunk;
-    remaining -= chunk;
+  usize w = pos / 64;
+  const usize off = pos % 64;
+  if (off != 0) {  // unaligned head, up to the next word boundary
+    const usize head = (64 - off) < len ? (64 - off) : len;
+    d += popcount(((a[w] ^ b[w]) >> off) & low_mask(head));
+    len -= head;
+    ++w;
   }
+  for (; len >= 64; ++w, len -= 64) d += popcount(a[w] ^ b[w]);
+  if (len != 0) d += popcount((a[w] ^ b[w]) & low_mask(len));
   return d;
 }
 
 /// XOR-flips all bits in [pos, pos + len) of a word array. This is the
-/// Flip-N-Write inversion primitive.
+/// Flip-N-Write inversion primitive. Same head/body/tail structure as
+/// hamming_range: whole words invert in one op on the aligned fast path.
 inline void flip_range(std::span<u64> words, usize pos, usize len) noexcept {
-  usize p = pos;
-  usize remaining = len;
-  while (remaining > 0) {
-    const usize chunk = remaining < 64 ? remaining : 64;
-    deposit_bits(words, p, chunk, ~extract_bits(words, p, chunk));
-    p += chunk;
-    remaining -= chunk;
+  usize w = pos / 64;
+  const usize off = pos % 64;
+  if (off != 0) {
+    const usize head = (64 - off) < len ? (64 - off) : len;
+    words[w] ^= low_mask(head) << off;
+    len -= head;
+    ++w;
   }
+  for (; len >= 64; ++w, len -= 64) words[w] = ~words[w];
+  if (len != 0) words[w] ^= low_mask(len);
 }
 
-/// Largest power of two that is <= x (x must be >= 1).
+/// Largest power of two that is <= x; 0 maps to 0 (there is no power of
+/// two below 1, and `bit_width(0) - 1` would be an out-of-range shift).
 [[nodiscard]] constexpr usize floor_pow2(usize x) noexcept {
-  return usize{1} << (std::bit_width(x) - 1);
+  return x == 0 ? 0 : usize{1} << (std::bit_width(x) - 1);
 }
 
 /// True when x is a power of two.

@@ -5,6 +5,12 @@
 // state; internal invariant violations throw std::logic_error. The hot
 // encode/decode paths validate inputs once at the boundary and stay
 // exception-free afterwards.
+//
+// The messages are `const char*` on purpose: a `const std::string&`
+// parameter would materialize (and heap-allocate) the message at every
+// call site even when the condition holds, which is exactly the innermost
+// loop of every encoder. Overloads taking std::string exist for the few
+// sites that build a message dynamically.
 #pragma once
 
 #include <stdexcept>
@@ -14,6 +20,9 @@ namespace nvmenc {
 
 /// Throws std::invalid_argument with `message` when `condition` is false.
 /// Use for caller-supplied arguments and configuration values.
+inline void require(bool condition, const char* message) {
+  if (!condition) throw std::invalid_argument(message);
+}
 inline void require(bool condition, const std::string& message) {
   if (!condition) throw std::invalid_argument(message);
 }
@@ -21,8 +30,22 @@ inline void require(bool condition, const std::string& message) {
 /// Throws std::logic_error with `message` when `condition` is false.
 /// Use for internal invariants ("this cannot happen unless the library
 /// itself is wrong").
+inline void ensure(bool condition, const char* message) {
+  if (!condition) throw std::logic_error(message);
+}
 inline void ensure(bool condition, const std::string& message) {
   if (!condition) throw std::logic_error(message);
 }
 
 }  // namespace nvmenc
+
+/// Debug-only invariant check for the unchecked accessor tier (BitBuf and
+/// the encode kernels): a full ensure() in debug builds, compiled out under
+/// NDEBUG so the innermost loops carry no bounds checks in release
+/// binaries. The checked tier keeps its unconditional require() calls.
+#ifdef NDEBUG
+#define NVMENC_DCHECK(condition, message) ((void)0)
+#else
+#define NVMENC_DCHECK(condition, message) \
+  ::nvmenc::ensure((condition), (message))
+#endif

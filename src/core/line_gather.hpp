@@ -1,0 +1,34 @@
+// Dirty-word gather/scatter: the paper's "assign the tag bits to the
+// dirty words" step (Section 3.1), shared by the stateful ReadSaeEncoder
+// and the PaperModelReadSae evaluator.
+//
+// Because the mask selects whole 64-bit words and BitBuf's backing store
+// is word-aligned, a gather is eight conditional word copies — no bit
+// shifting — via the unchecked BitBuf tier.
+#pragma once
+
+#include "common/bit_buf.hpp"
+#include "common/cache_line.hpp"
+
+namespace nvmenc {
+
+/// Concatenates the words of `line` selected by `mask` (ascending index)
+/// into one popcount(mask) * 64-bit vector.
+[[nodiscard]] inline BitBuf gather_words(const CacheLine& line, u8 mask) {
+  BitBuf out{popcount(mask) * kWordBits};
+  usize i = 0;
+  for (usize w = 0; w < kWordsPerLine; ++w) {
+    if ((mask >> w) & 1) out.set_word_at(i++, line.word(w));
+  }
+  return out;
+}
+
+/// Inverse of gather_words: writes the vector back into the masked words.
+inline void scatter_words(CacheLine& line, u8 mask, const BitBuf& bits) {
+  usize i = 0;
+  for (usize w = 0; w < kWordsPerLine; ++w) {
+    if ((mask >> w) & 1) line.set_word(w, bits.word_at(i++));
+  }
+}
+
+}  // namespace nvmenc

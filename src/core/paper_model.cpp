@@ -1,8 +1,11 @@
 #include "core/paper_model.hpp"
 
+#include <array>
+
 #include "common/bit_buf.hpp"
 #include "common/error.hpp"
 #include "compress/fpc.hpp"
+#include "core/line_gather.hpp"
 
 namespace nvmenc {
 
@@ -66,18 +69,6 @@ FlipBreakdown PaperModelAfnw::write(PaperModelAfnwState& state,
   return fb;
 }
 
-namespace {
-
-BitBuf gather(const CacheLine& line, u8 mask) {
-  BitBuf out;
-  for (usize w = 0; w < kWordsPerLine; ++w) {
-    if ((mask >> w) & 1) out.push_bits(line.word(w), kWordBits);
-  }
-  return out;
-}
-
-}  // namespace
-
 PaperModelReadSae::PaperModelReadSae(AdaptiveConfig config)
     : config_{config} {
   config_.validate();
@@ -98,32 +89,44 @@ FlipBreakdown PaperModelReadSae::write(PaperModelLineState& state,
   const usize dirty_words = popcount(dirty);
   if (dirty_words == 0) return {};
 
-  const BitBuf old_bits = gather(old_line, dirty);
-  const BitBuf new_bits = gather(new_line, dirty);
+  const BitBuf old_bits = gather_words(old_line, dirty);
+  const BitBuf new_bits = gather_words(new_line, dirty);
   const usize total_bits = dirty_words * kWordBits;
 
-  // Evaluate the granularity options over the logical old/new pair (the
-  // paper's Figure 6 parallel evaluation).
+  // Leaf level of the shared cost tree (the paper's Figure 6/7 parallel
+  // evaluation): per-segment Hamming distances at the finest granularity,
+  // computed in one pass; coarser levels are pairwise sums.
+  const usize seg0 = total_bits / config_.tag_budget;
+  std::array<u32, kWordBits> h0{};
+  for (usize s = 0; s < config_.tag_budget; ++s) {
+    h0[s] = static_cast<u32>(
+        old_bits.hamming_range_unchecked(new_bits, s * seg0, seg0));
+  }
+
   usize best_f = 0;
   usize best_cost = ~usize{0};
-  for (usize f = 0; f < config_.granularity_levels; ++f) {
-    const usize tags = config_.tag_budget >> f;
-    const usize seg_bits = total_bits / tags;
-    usize cost = 0;
-    for (usize s = 0; s < tags; ++s) {
-      const usize h = old_bits.hamming_range(new_bits, s * seg_bits, seg_bits);
-      const bool old_tag = (state.tags >> s) & 1;
-      const usize cost_plain = h + (old_tag ? 1 : 0);
-      const usize cost_flip = (seg_bits - h) + (old_tag ? 0 : 1);
-      cost += cost_plain < cost_flip ? cost_plain : cost_flip;
-    }
-    if (config_.granularity_levels > 1) {
-      cost += hamming(static_cast<u64>(state.gran_flag),
-                      static_cast<u64>(f));
-    }
-    if (cost < best_cost) {
-      best_cost = cost;
-      best_f = f;
+  {
+    std::array<u32, kWordBits> h = h0;
+    for (usize f = 0; f < config_.granularity_levels; ++f) {
+      const usize tags = config_.tag_budget >> f;
+      const usize seg_bits = total_bits / tags;
+      usize cost = 0;
+      for (usize s = 0; s < tags; ++s) {
+        const usize hs = h[s];
+        const bool old_tag = (state.tags >> s) & 1;
+        const usize cost_plain = hs + (old_tag ? 1 : 0);
+        const usize cost_flip = (seg_bits - hs) + (old_tag ? 0 : 1);
+        cost += cost_plain < cost_flip ? cost_plain : cost_flip;
+      }
+      if (config_.granularity_levels > 1) {
+        cost += hamming(static_cast<u64>(state.gran_flag),
+                        static_cast<u64>(f));
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_f = f;
+      }
+      for (usize s = 0; 2 * s + 1 < tags; ++s) h[s] = h[2 * s] + h[2 * s + 1];
     }
   }
 
@@ -132,10 +135,12 @@ FlipBreakdown PaperModelReadSae::write(PaperModelLineState& state,
   FlipBreakdown fb;
   const usize tags = config_.tag_budget >> best_f;
   const usize seg_bits = total_bits / tags;
+  const usize group = usize{1} << best_f;
   u64 new_tags = state.tags;
   for (usize s = 0; s < tags; ++s) {
     const usize pos = s * seg_bits;
-    const usize h = old_bits.hamming_range(new_bits, pos, seg_bits);
+    usize h = 0;
+    for (usize k = 0; k < group; ++k) h += h0[s * group + k];
     const bool old_tag = (state.tags >> s) & 1;
     const usize cost_plain = h + (old_tag ? 1 : 0);
     const usize cost_flip = (seg_bits - h) + (old_tag ? 0 : 1);
@@ -146,8 +151,8 @@ FlipBreakdown PaperModelReadSae::write(PaperModelLineState& state,
     usize remaining = seg_bits;
     while (remaining > 0) {
       const usize chunk = remaining < 64 ? remaining : 64;
-      const u64 o = old_bits.bits(p, chunk);
-      u64 n = new_bits.bits(p, chunk);
+      const u64 o = old_bits.bits_unchecked(p, chunk);
+      u64 n = new_bits.bits_unchecked(p, chunk);
       if (flip) n = ~n & low_mask(chunk);
       fb.sets += popcount(~o & n);
       fb.resets += popcount(o & ~n);

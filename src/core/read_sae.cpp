@@ -1,34 +1,26 @@
 #include "core/read_sae.hpp"
 
+#include <array>
+
 #include "common/error.hpp"
+#include "core/line_gather.hpp"
+
+// Encode kernel (DESIGN.md §5, "software encode kernel"). The paper's
+// hardware evaluates all four SAE granularities in parallel from ONE
+// shared popcount tree (§3.2, Fig. 7); this file mirrors that structure in
+// software. Per candidate mask the dirty words are gathered ONCE, the
+// per-segment Hamming distances are computed only at the FINEST
+// granularity (the tree's leaves), and every coarser level is derived by
+// pairwise addition up the adder tree — one scan over the covered bits
+// plus O(tags) additions, instead of one full scan per (mask, granularity)
+// candidate. The winning plan is applied from the same leaf costs, and the
+// old logical line is reconstructed without a full decode() when the
+// stored image carries no set tags. Plan-selection order (candidate masks
+// first-considered-wins, granularities finest to coarsest, strict '<')
+// matches the pre-kernel implementation bit for bit; the differential
+// suite in tests/test_read_sae_differential.cpp holds it to that.
 
 namespace nvmenc {
-
-namespace {
-
-/// Concatenates the words of `line` selected by `mask` (ascending index)
-/// into one bit vector — the paper's "assign the tag bits to the dirty
-/// words" gather step.
-BitBuf gather_words(const CacheLine& line, u8 mask) {
-  BitBuf out;
-  for (usize w = 0; w < kWordsPerLine; ++w) {
-    if ((mask >> w) & 1) out.push_bits(line.word(w), kWordBits);
-  }
-  return out;
-}
-
-/// Inverse of gather_words: writes the vector back into the masked words.
-void scatter_words(CacheLine& line, u8 mask, const BitBuf& bits) {
-  usize pos = 0;
-  for (usize w = 0; w < kWordsPerLine; ++w) {
-    if ((mask >> w) & 1) {
-      line.set_word(w, bits.bits(pos, kWordBits));
-      pos += kWordBits;
-    }
-  }
-}
-
-}  // namespace
 
 void AdaptiveConfig::validate() const {
   require(is_pow2(tag_budget) && tag_budget >= 2 && tag_budget <= 64,
@@ -40,6 +32,16 @@ void AdaptiveConfig::validate() const {
   require(!rotate_tags || tag_budget <= 32,
           "the 5-bit rotation counter indexes at most 32 tag cells");
 }
+
+struct ReadSaeEncoder::MaskEval {
+  u8 mask = 0;
+  usize total_bits = 0;
+  BitBuf new_bits;
+  BitBuf old_cells;
+  /// Leaf level of the shared cost tree: Hamming distance of each
+  /// finest-granularity segment (tag_budget of them, <= 64).
+  std::array<u32, kWordBits> h0{};
+};
 
 ReadSaeEncoder::ReadSaeEncoder(AdaptiveConfig config, std::string name)
     : config_{config}, name_{std::move(name)} {
@@ -80,52 +82,53 @@ usize ReadSaeEncoder::stored_rotation(const StoredLine& stored) const {
   return static_cast<usize>(binary);
 }
 
-/// Evaluates the segment-encoding cost of covering `mask`'s words with
-/// `tags` tag bits, against the current cells and tag state.
-usize ReadSaeEncoder::segment_cost(const StoredLine& stored,
-                                   const CacheLine& new_line, u8 mask,
-                                   usize tags, usize rotation) const {
-  const BitBuf new_bits = gather_words(new_line, mask);
-  const BitBuf old_cells = gather_words(stored.data, mask);
-  const usize total_bits = popcount(mask) * kWordBits;
-  const usize seg_bits = total_bits / tags;
-  usize cost = 0;
-  for (usize s = 0; s < tags; ++s) {
-    const usize pos = s * seg_bits;
-    const usize plain_h = old_cells.hamming_range(new_bits, pos, seg_bits);
-    const bool old_tag = stored.meta.bit(tag_cell(s, rotation));
-    const usize cost_plain = plain_h + (old_tag ? 1 : 0);
-    const usize cost_flip = (seg_bits - plain_h) + (old_tag ? 0 : 1);
-    cost += cost_plain < cost_flip ? cost_plain : cost_flip;
+void ReadSaeEncoder::scan_mask(MaskEval& eval, const StoredLine& stored,
+                               const CacheLine& new_line, u8 mask) const {
+  eval.mask = mask;
+  eval.total_bits = popcount(mask) * kWordBits;
+  eval.new_bits = gather_words(new_line, mask);
+  eval.old_cells = gather_words(stored.data, mask);
+  ensure(eval.total_bits % config_.tag_budget == 0,
+         "tag count must divide the covered bits");
+  const usize seg0 = eval.total_bits / config_.tag_budget;
+  for (usize s = 0; s < config_.tag_budget; ++s) {
+    eval.h0[s] = static_cast<u32>(
+        eval.old_cells.hamming_range_unchecked(eval.new_bits, s * seg0, seg0));
   }
-  return cost;
 }
 
-/// Applies the chosen (mask, granularity) plan to the stored image.
-void ReadSaeEncoder::apply_plan(StoredLine& stored, const CacheLine& new_line,
-                                u8 mask, usize best_f,
-                                usize rotation) const {
-  const BitBuf new_bits = gather_words(new_line, mask);
-  const BitBuf old_cells = gather_words(stored.data, mask);
-  const usize total_bits = popcount(mask) * kWordBits;
+/// Applies the chosen (mask, granularity) plan to the stored image. The
+/// per-segment costs come from the leaf level by group summation; the
+/// only bit-level work left is flipping the segments that choose
+/// inversion (word-inverts on the aligned fast path).
+void ReadSaeEncoder::apply_plan(StoredLine& stored, const MaskEval& eval,
+                                usize best_f, usize rotation) const {
   const usize tags = config_.tag_budget >> best_f;
-  const usize seg_bits = total_bits / tags;
-  BitBuf encoded = new_bits;
+  const usize seg_bits = eval.total_bits / tags;
+  const usize group = usize{1} << best_f;
+  // The whole tag window in one register; cells outside the used window
+  // keep their stored values (no gratuitous flips).
+  u64 tag_state = stored.meta.bits_unchecked(0, config_.tag_budget);
+  BitBuf encoded = eval.new_bits;
   for (usize s = 0; s < tags; ++s) {
-    const usize pos = s * seg_bits;
-    const usize plain_h = old_cells.hamming_range(new_bits, pos, seg_bits);
-    const bool old_tag = stored.meta.bit(tag_cell(s, rotation));
+    usize plain_h = 0;
+    for (usize k = 0; k < group; ++k) plain_h += eval.h0[s * group + k];
+    const usize cell = tag_cell(s, rotation);
+    const bool old_tag = (tag_state >> cell) & 1;
     const usize cost_plain = plain_h + (old_tag ? 1 : 0);
     const usize cost_flip = (seg_bits - plain_h) + (old_tag ? 0 : 1);
     const bool flip = cost_flip < cost_plain;
-    if (flip) encoded.flip_range(pos, seg_bits);
-    stored.meta.set_bit(tag_cell(s, rotation), flip);
+    if (flip) {
+      encoded.flip_range_unchecked(s * seg_bits, seg_bits);
+      tag_state |= u64{1} << cell;
+    } else {
+      tag_state &= ~(u64{1} << cell);
+    }
   }
-  // Tag cells outside the used window keep their stored values (no
-  // gratuitous flips).
-  scatter_words(stored.data, mask, encoded);
+  stored.meta.set_bits(0, config_.tag_budget, tag_state);
+  scatter_words(stored.data, eval.mask, encoded);
   if (config_.redundant_word_aware) {
-    stored.meta.set_bits(dirty_flag_offset(), kDirtyFlagBits, mask);
+    stored.meta.set_bits(dirty_flag_offset(), kDirtyFlagBits, eval.mask);
   }
   if (config_.granularity_levels > 1) {
     stored.meta.set_bits(gran_flag_offset(), kGranularityFlagBits,
@@ -140,15 +143,17 @@ void ReadSaeEncoder::apply_plan(StoredLine& stored, const CacheLine& new_line,
 
 void ReadSaeEncoder::encode_impl(StoredLine& stored,
                                  const CacheLine& new_line) const {
-  const CacheLine old_logical = decode(stored);
   const u8 old_dirty = stored_dirty_mask(stored);
-  const u8 changed = config_.redundant_word_aware
-                         ? new_line.dirty_mask(old_logical)
-                         : u8{0xff};
 
-  if (popcount(changed) == 0) {
-    // Silent write-back: the stored image already decodes to new_line.
-    return;
+  u8 changed = 0xff;
+  CacheLine old_logical;
+  if (config_.redundant_word_aware) {
+    old_logical = reconstruct_logical(stored, old_dirty);
+    changed = new_line.dirty_mask(old_logical);
+    if (changed == 0) {
+      // Silent write-back: the stored image already decodes to new_line.
+      return;
+    }
   }
 
   const usize old_gran = stored_gran_flag(stored);
@@ -166,8 +171,7 @@ void ReadSaeEncoder::encode_impl(StoredLine& stored,
     const u8 leaving = old_flag & static_cast<u8>(~changed);
     for (usize w = 0; w < kWordsPerLine; ++w) {
       if (!((leaving >> w) & 1)) continue;
-      const usize h =
-          hamming(stored.data.word(w), old_logical.word(w));
+      const usize h = hamming(stored.data.word(w), old_logical.word(w));
       if (h != 0) {
         flipped_leftovers |= static_cast<u8>(1u << w);
         normalization_flips += h;
@@ -176,14 +180,6 @@ void ReadSaeEncoder::encode_impl(StoredLine& stored,
   }
   const u8 mask_retag = changed | flipped_leftovers;
 
-  struct Plan {
-    u8 mask = 0;
-    usize f = 0;
-    bool normalize = false;
-    usize cost = ~usize{0};
-  };
-  Plan best;
-
   // Rotating assignment: advance the starting tag cell by one per write
   // so long-run tag wear spreads across the whole budget.
   const usize rotation =
@@ -191,58 +187,95 @@ void ReadSaeEncoder::encode_impl(StoredLine& stored,
           ? (stored_rotation(stored) + 1) % (usize{1} << kRotationBits)
           : 0;
 
-  auto consider = [&](u8 mask, bool normalize, usize extra) {
+  // One scan per candidate mask fills the leaf level of the cost tree.
+  MaskEval evals[2];
+  scan_mask(evals[0], stored, new_line, changed);
+  const bool has_retag = mask_retag != changed;
+  if (has_retag) scan_mask(evals[1], stored, new_line, mask_retag);
+
+  struct Plan {
+    const MaskEval* eval = nullptr;
+    usize f = 0;
+    bool normalize = false;
+    usize cost = ~usize{0};
+  };
+  Plan best;
+
+  // Evaluate every granularity from the shared leaves: cost of level f,
+  // then pairwise-reduce the segment Hamming distances for level f + 1 —
+  // the software image of the paper's adder tree.
+  const u64 tag_state = stored.meta.bits_unchecked(0, config_.tag_budget);
+  auto consider = [&](const MaskEval& e, bool normalize, usize extra) {
+    std::array<u32, kWordBits> h = e.h0;
     for (usize f = 0; f < config_.granularity_levels; ++f) {
       const usize tags = config_.tag_budget >> f;
-      ensure((popcount(mask) * kWordBits) % tags == 0,
-             "tag count must divide the covered bits");
-      usize cost =
-          segment_cost(stored, new_line, mask, tags, rotation) + extra;
+      const usize seg_bits = e.total_bits / tags;
+      usize cost = extra;
+      for (usize s = 0; s < tags; ++s) {
+        const usize plain_h = h[s];
+        const bool old_tag = (tag_state >> tag_cell(s, rotation)) & 1;
+        const usize cost_plain = plain_h + (old_tag ? 1 : 0);
+        const usize cost_flip = (seg_bits - plain_h) + (old_tag ? 0 : 1);
+        cost += cost_plain < cost_flip ? cost_plain : cost_flip;
+      }
       if (config_.granularity_levels > 1) {
         cost += hamming(static_cast<u64>(old_gran), static_cast<u64>(f));
       }
       if (config_.redundant_word_aware) {
-        cost += hamming(static_cast<u64>(old_flag), static_cast<u64>(mask));
+        cost += hamming(static_cast<u64>(old_flag), static_cast<u64>(e.mask));
       }
-      if (cost < best.cost) best = {mask, f, normalize, cost};
+      if (cost < best.cost) best = {&e, f, normalize, cost};
+      for (usize s = 0; 2 * s + 1 < tags; ++s) h[s] = h[2 * s] + h[2 * s + 1];
     }
   };
 
-  consider(changed, /*normalize=*/true, normalization_flips);
-  if (mask_retag != changed) {
-    consider(mask_retag, /*normalize=*/false, 0);
-  }
+  consider(evals[0], /*normalize=*/true, normalization_flips);
+  if (has_retag) consider(evals[1], /*normalize=*/false, 0);
 
   if (best.normalize && flipped_leftovers != 0) {
+    // Normalized leftovers sit outside the winning mask (leaving words are
+    // disjoint from `changed`), so the leaf costs stay valid.
     for (usize w = 0; w < kWordsPerLine; ++w) {
       if ((flipped_leftovers >> w) & 1) {
         stored.data.set_word(w, old_logical.word(w));
       }
     }
   }
-  apply_plan(stored, new_line, best.mask, best.f, rotation);
+  apply_plan(stored, *best.eval, best.f, rotation);
 }
 
-CacheLine ReadSaeEncoder::decode(const StoredLine& stored) const {
-  const u8 dirty = stored_dirty_mask(stored);
-  const usize dirty_words = popcount(dirty);
+CacheLine ReadSaeEncoder::reconstruct_logical(const StoredLine& stored,
+                                              u8 dirty) const {
   CacheLine line = stored.data;
-  if (dirty_words == 0) return line;
+  if (dirty == 0) return line;
 
   const usize f = stored_gran_flag(stored);
   const usize tags = config_.tag_budget >> f;
-  const usize total_bits = dirty_words * kWordBits;
+  const usize total_bits = popcount(dirty) * kWordBits;
   const usize seg_bits = total_bits / tags;
-
   const usize rotation = stored_rotation(stored);
+  const u64 tag_state = stored.meta.bits_unchecked(0, config_.tag_budget);
+
+  // No set tag in the used window: the dirty words are stored plaintext,
+  // so the copied image already is the logical line — skip the gather.
+  bool any_tag = false;
+  for (usize s = 0; s < tags && !any_tag; ++s) {
+    any_tag = (tag_state >> tag_cell(s, rotation)) & 1;
+  }
+  if (!any_tag) return line;
+
   BitBuf bits = gather_words(stored.data, dirty);
   for (usize s = 0; s < tags; ++s) {
-    if (stored.meta.bit(tag_cell(s, rotation))) {
-      bits.flip_range(s * seg_bits, seg_bits);
+    if ((tag_state >> tag_cell(s, rotation)) & 1) {
+      bits.flip_range_unchecked(s * seg_bits, seg_bits);
     }
   }
   scatter_words(line, dirty, bits);
   return line;
+}
+
+CacheLine ReadSaeEncoder::decode(const StoredLine& stored) const {
+  return reconstruct_logical(stored, stored_dirty_mask(stored));
 }
 
 EncoderPtr make_read(usize tag_budget) {

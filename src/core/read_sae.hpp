@@ -100,11 +100,28 @@ class ReadSaeEncoder final : public Encoder {
   [[nodiscard]] usize tag_cell(usize s, usize rotation) const noexcept {
     return (s + rotation) % config_.tag_budget;
   }
-  [[nodiscard]] usize segment_cost(const StoredLine& stored,
-                                   const CacheLine& new_line, u8 mask,
-                                   usize tags, usize rotation) const;
-  void apply_plan(StoredLine& stored, const CacheLine& new_line, u8 mask,
-                  usize best_f, usize rotation) const;
+
+  /// One candidate mask's scan state: the gathered old/new vectors plus
+  /// the finest-granularity per-segment Hamming distances (the shared
+  /// popcount tree's leaf level — every coarser granularity is derived
+  /// from these by pairwise addition, never by rescanning the bits).
+  struct MaskEval;
+
+  /// Gathers `mask`'s words from both lines and fills the leaf level of
+  /// the cost tree in a single pass over the covered bits.
+  void scan_mask(MaskEval& eval, const StoredLine& stored,
+                 const CacheLine& new_line, u8 mask) const;
+
+  /// Applies the winning (mask, granularity) plan using the precomputed
+  /// leaf costs — no rescan of the data bits.
+  void apply_plan(StoredLine& stored, const MaskEval& eval, usize best_f,
+                  usize rotation) const;
+
+  /// The logical line behind a stored image, reconstructing only the
+  /// words inside `dirty` (words outside it are plaintext by the Fig. 8
+  /// invariant; untagged images skip the gather entirely).
+  [[nodiscard]] CacheLine reconstruct_logical(const StoredLine& stored,
+                                              u8 dirty) const;
 
   AdaptiveConfig config_;
   std::string name_;

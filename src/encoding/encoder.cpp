@@ -1,5 +1,7 @@
 #include "encoding/encoder.hpp"
 
+#include <bit>
+
 #include "common/error.hpp"
 
 namespace nvmenc {
@@ -21,24 +23,34 @@ FlipBreakdown Encoder::encode(StoredLine& stored,
          "encoder changed its metadata width");
 
   FlipBreakdown fb;
-  fb.data = before.data.hamming(stored.data);
   for (usize w = 0; w < kWordsPerLine; ++w) {
-    fb.sets += popcount(~before.data.word(w) & stored.data.word(w));
-    fb.resets += popcount(before.data.word(w) & ~stored.data.word(w));
+    const u64 was = before.data.word(w);
+    const u64 now = stored.data.word(w);
+    fb.data += popcount(was ^ now);
+    fb.sets += popcount(~was & now);
+    fb.resets += popcount(was & ~now);
   }
-  for (usize i = 0; i < meta_bits(); ++i) {
-    const bool was = before.meta.bit(i);
-    const bool now = stored.meta.bit(i);
-    if (was == now) continue;
-    if (is_tag_bit(i)) {
-      ++fb.tag;
-    } else {
-      ++fb.flag;
-    }
-    if (now) {
-      ++fb.sets;
-    } else {
-      ++fb.resets;
+  // Metadata delta, one word at a time: only bits that actually changed
+  // reach the per-bit classification (is_tag_bit is a virtual call).
+  const std::span<const u64> was_meta = before.meta.words();
+  const std::span<const u64> now_meta = stored.meta.words();
+  const usize nbits = meta_bits();
+  for (usize i = 0; i * 64 < nbits; ++i) {
+    const usize width = nbits - i * 64 < 64 ? nbits - i * 64 : 64;
+    u64 diff = (was_meta[i] ^ now_meta[i]) & low_mask(width);
+    while (diff != 0) {
+      const usize b = static_cast<usize>(std::countr_zero(diff));
+      diff &= diff - 1;
+      if (is_tag_bit(i * 64 + b)) {
+        ++fb.tag;
+      } else {
+        ++fb.flag;
+      }
+      if ((now_meta[i] >> b) & 1) {
+        ++fb.sets;
+      } else {
+        ++fb.resets;
+      }
     }
   }
   return fb;

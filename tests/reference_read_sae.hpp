@@ -1,0 +1,262 @@
+// ReferenceReadSae: the pre-kernel READ/SAE implementation, kept verbatim
+// as a differential-testing oracle.
+//
+// This is the straightforward multi-pass encoder the repository shipped
+// before the single-pass shared-cost kernel landed in core/read_sae.cpp:
+// it re-gathers the dirty words and re-scans every bit once per
+// (mask, granularity) candidate and runs a full decode() per encode. It is
+// deliberately NOT built on the word-aligned fast paths or the unchecked
+// BitBuf tier — only on the checked, bit-at-a-time primitives — so a bug
+// in the optimized kernel cannot cancel out against the same bug here.
+// The plan-selection order (candidate masks first-considered-wins,
+// granularities evaluated finest to coarsest with strict '<') is part of
+// the encoder's observable behaviour and must match ReadSaeEncoder
+// exactly; test_read_sae_differential.cpp asserts bit-identical stored
+// images, metadata and flip ledgers between the two.
+#pragma once
+
+#include "common/error.hpp"
+#include "core/read_sae.hpp"
+#include "encoding/encoder.hpp"
+
+namespace nvmenc::testutil {
+
+class ReferenceReadSae final : public Encoder {
+ public:
+  explicit ReferenceReadSae(AdaptiveConfig config, std::string name = {})
+      : config_{config}, name_{std::move(name)} {
+    config_.validate();
+    if (name_.empty()) name_ = "ReferenceReadSae";
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept override {
+    return name_;
+  }
+
+  [[nodiscard]] usize meta_bits() const noexcept override {
+    return config_.tag_budget +
+           (config_.redundant_word_aware ? kDirtyFlagBits : 0) +
+           (config_.granularity_levels > 1 ? kGranularityFlagBits : 0) +
+           (config_.rotate_tags ? kRotationBits : 0);
+  }
+
+  [[nodiscard]] bool is_tag_bit(usize i) const noexcept override {
+    return i < config_.tag_budget;
+  }
+
+  [[nodiscard]] CacheLine decode(const StoredLine& stored) const override {
+    const u8 dirty = stored_dirty_mask(stored);
+    const usize dirty_words = popcount(dirty);
+    CacheLine line = stored.data;
+    if (dirty_words == 0) return line;
+
+    const usize f = stored_gran_flag(stored);
+    const usize tags = config_.tag_budget >> f;
+    const usize total_bits = dirty_words * kWordBits;
+    const usize seg_bits = total_bits / tags;
+
+    const usize rotation = stored_rotation(stored);
+    BitBuf bits = gather_words(stored.data, dirty);
+    for (usize s = 0; s < tags; ++s) {
+      if (stored.meta.bit(tag_cell(s, rotation))) {
+        bits.flip_range(s * seg_bits, seg_bits);
+      }
+    }
+    scatter_words(line, dirty, bits);
+    return line;
+  }
+
+ protected:
+  void encode_impl(StoredLine& stored,
+                   const CacheLine& new_line) const override {
+    const CacheLine old_logical = decode(stored);
+    const u8 old_dirty = stored_dirty_mask(stored);
+    const u8 changed = config_.redundant_word_aware
+                           ? new_line.dirty_mask(old_logical)
+                           : u8{0xff};
+
+    if (popcount(changed) == 0) {
+      // Silent write-back: the stored image already decodes to new_line.
+      return;
+    }
+
+    const usize old_gran = stored_gran_flag(stored);
+    const u8 old_flag = old_dirty;
+
+    // Words leaving the tag-covered set whose stored form is not
+    // plaintext: *normalize* them back to plaintext (paying the flips) or
+    // *re-tag* them (see core/read_sae.hpp).
+    u8 flipped_leftovers = 0;
+    usize normalization_flips = 0;
+    if (config_.redundant_word_aware) {
+      const u8 leaving = old_flag & static_cast<u8>(~changed);
+      for (usize w = 0; w < kWordsPerLine; ++w) {
+        if (!((leaving >> w) & 1)) continue;
+        const usize h = hamming(stored.data.word(w), old_logical.word(w));
+        if (h != 0) {
+          flipped_leftovers |= static_cast<u8>(1u << w);
+          normalization_flips += h;
+        }
+      }
+    }
+    const u8 mask_retag = changed | flipped_leftovers;
+
+    struct Plan {
+      u8 mask = 0;
+      usize f = 0;
+      bool normalize = false;
+      usize cost = ~usize{0};
+    };
+    Plan best;
+
+    const usize rotation =
+        config_.rotate_tags
+            ? (stored_rotation(stored) + 1) % (usize{1} << kRotationBits)
+            : 0;
+
+    auto consider = [&](u8 mask, bool normalize, usize extra) {
+      for (usize f = 0; f < config_.granularity_levels; ++f) {
+        const usize tags = config_.tag_budget >> f;
+        ensure((popcount(mask) * kWordBits) % tags == 0,
+               "tag count must divide the covered bits");
+        usize cost =
+            segment_cost(stored, new_line, mask, tags, rotation) + extra;
+        if (config_.granularity_levels > 1) {
+          cost += hamming(static_cast<u64>(old_gran), static_cast<u64>(f));
+        }
+        if (config_.redundant_word_aware) {
+          cost += hamming(static_cast<u64>(old_flag), static_cast<u64>(mask));
+        }
+        if (cost < best.cost) best = {mask, f, normalize, cost};
+      }
+    };
+
+    consider(changed, /*normalize=*/true, normalization_flips);
+    if (mask_retag != changed) {
+      consider(mask_retag, /*normalize=*/false, 0);
+    }
+
+    if (best.normalize && flipped_leftovers != 0) {
+      for (usize w = 0; w < kWordsPerLine; ++w) {
+        if ((flipped_leftovers >> w) & 1) {
+          stored.data.set_word(w, old_logical.word(w));
+        }
+      }
+    }
+    apply_plan(stored, new_line, best.mask, best.f, rotation);
+  }
+
+ private:
+  static constexpr usize kRotationBits = 5;
+
+  static BitBuf gather_words(const CacheLine& line, u8 mask) {
+    BitBuf out;
+    for (usize w = 0; w < kWordsPerLine; ++w) {
+      if ((mask >> w) & 1) out.push_bits(line.word(w), kWordBits);
+    }
+    return out;
+  }
+
+  static void scatter_words(CacheLine& line, u8 mask, const BitBuf& bits) {
+    usize pos = 0;
+    for (usize w = 0; w < kWordsPerLine; ++w) {
+      if ((mask >> w) & 1) {
+        line.set_word(w, bits.bits(pos, kWordBits));
+        pos += kWordBits;
+      }
+    }
+  }
+
+  [[nodiscard]] usize dirty_flag_offset() const noexcept {
+    return config_.tag_budget;
+  }
+  [[nodiscard]] usize gran_flag_offset() const noexcept {
+    return config_.tag_budget +
+           (config_.redundant_word_aware ? kDirtyFlagBits : 0);
+  }
+  [[nodiscard]] usize rotation_offset() const noexcept {
+    return gran_flag_offset() +
+           (config_.granularity_levels > 1 ? kGranularityFlagBits : 0);
+  }
+
+  [[nodiscard]] u8 stored_dirty_mask(const StoredLine& stored) const {
+    if (!config_.redundant_word_aware) return 0xff;
+    return static_cast<u8>(
+        stored.meta.bits(dirty_flag_offset(), kDirtyFlagBits));
+  }
+
+  [[nodiscard]] usize stored_gran_flag(const StoredLine& stored) const {
+    if (config_.granularity_levels <= 1) return 0;
+    return static_cast<usize>(
+        stored.meta.bits(gran_flag_offset(), kGranularityFlagBits));
+  }
+
+  [[nodiscard]] usize stored_rotation(const StoredLine& stored) const {
+    if (!config_.rotate_tags) return 0;
+    u64 gray = stored.meta.bits(rotation_offset(), kRotationBits);
+    u64 binary = 0;
+    for (u64 g = gray; g != 0; g >>= 1) binary ^= g;
+    return static_cast<usize>(binary);
+  }
+
+  [[nodiscard]] usize tag_cell(usize s, usize rotation) const noexcept {
+    return (s + rotation) % config_.tag_budget;
+  }
+
+  [[nodiscard]] usize segment_cost(const StoredLine& stored,
+                                   const CacheLine& new_line, u8 mask,
+                                   usize tags, usize rotation) const {
+    const BitBuf new_bits = gather_words(new_line, mask);
+    const BitBuf old_cells = gather_words(stored.data, mask);
+    const usize total_bits = popcount(mask) * kWordBits;
+    const usize seg_bits = total_bits / tags;
+    usize cost = 0;
+    for (usize s = 0; s < tags; ++s) {
+      const usize pos = s * seg_bits;
+      const usize plain_h = old_cells.hamming_range(new_bits, pos, seg_bits);
+      const bool old_tag = stored.meta.bit(tag_cell(s, rotation));
+      const usize cost_plain = plain_h + (old_tag ? 1 : 0);
+      const usize cost_flip = (seg_bits - plain_h) + (old_tag ? 0 : 1);
+      cost += cost_plain < cost_flip ? cost_plain : cost_flip;
+    }
+    return cost;
+  }
+
+  void apply_plan(StoredLine& stored, const CacheLine& new_line, u8 mask,
+                  usize best_f, usize rotation) const {
+    const BitBuf new_bits = gather_words(new_line, mask);
+    const BitBuf old_cells = gather_words(stored.data, mask);
+    const usize total_bits = popcount(mask) * kWordBits;
+    const usize tags = config_.tag_budget >> best_f;
+    const usize seg_bits = total_bits / tags;
+    BitBuf encoded = new_bits;
+    for (usize s = 0; s < tags; ++s) {
+      const usize pos = s * seg_bits;
+      const usize plain_h = old_cells.hamming_range(new_bits, pos, seg_bits);
+      const bool old_tag = stored.meta.bit(tag_cell(s, rotation));
+      const usize cost_plain = plain_h + (old_tag ? 1 : 0);
+      const usize cost_flip = (seg_bits - plain_h) + (old_tag ? 0 : 1);
+      const bool flip = cost_flip < cost_plain;
+      if (flip) encoded.flip_range(pos, seg_bits);
+      stored.meta.set_bit(tag_cell(s, rotation), flip);
+    }
+    scatter_words(stored.data, mask, encoded);
+    if (config_.redundant_word_aware) {
+      stored.meta.set_bits(dirty_flag_offset(), kDirtyFlagBits, mask);
+    }
+    if (config_.granularity_levels > 1) {
+      stored.meta.set_bits(gran_flag_offset(), kGranularityFlagBits,
+                           static_cast<u64>(best_f));
+    }
+    if (config_.rotate_tags) {
+      const u64 gray =
+          static_cast<u64>(rotation) ^ (static_cast<u64>(rotation) >> 1);
+      stored.meta.set_bits(rotation_offset(), kRotationBits, gray);
+    }
+  }
+
+  AdaptiveConfig config_;
+  std::string name_;
+};
+
+}  // namespace nvmenc::testutil

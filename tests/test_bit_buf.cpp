@@ -105,6 +105,38 @@ TEST(BitBuf, PopcountPartialWord) {
   EXPECT_EQ(buf.popcount(), 67u);
 }
 
+// The unchecked accessor tier must agree with the checked one on every
+// in-range call — it exists only to drop the bounds checks from release
+// builds, never to change a result.
+TEST(BitBuf, UncheckedTierMatchesChecked) {
+  Xoshiro256 rng{17};
+  for (int iter = 0; iter < 50; ++iter) {
+    BitBuf a{BitBuf::kCapacityBits};
+    BitBuf b{BitBuf::kCapacityBits};
+    for (usize w = 0; w < BitBuf::kCapacityBits / 64; ++w) {
+      a.set_word_at(w, rng.next());
+      b.set_bits(w * 64, 64, rng.next());
+    }
+    for (usize w = 0; w < BitBuf::kCapacityBits / 64; ++w) {
+      EXPECT_EQ(a.word_at(w), a.bits(w * 64, 64));
+      EXPECT_EQ(b.word_at(w), b.bits(w * 64, 64));
+    }
+    for (int probe = 0; probe < 20; ++probe) {
+      const usize len = 1 + static_cast<usize>(rng.next_below(64));
+      const usize pos =
+          static_cast<usize>(rng.next_below(BitBuf::kCapacityBits - len + 1));
+      EXPECT_EQ(a.bits_unchecked(pos, len), a.bits(pos, len));
+      EXPECT_EQ(a.hamming_range_unchecked(b, pos, len),
+                a.hamming_range(b, pos, len));
+      BitBuf flipped = a;
+      flipped.flip_range_unchecked(pos, len);
+      BitBuf expected = a;
+      expected.flip_range(pos, len);
+      EXPECT_EQ(flipped, expected);
+    }
+  }
+}
+
 // Property: random push sequence reads back verbatim.
 TEST(BitBuf, RandomPushReadBack) {
   Xoshiro256 rng{99};

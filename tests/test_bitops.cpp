@@ -102,6 +102,10 @@ TEST(Bitops, FloorPow2) {
   EXPECT_EQ(floor_pow2(3), 2u);
   EXPECT_EQ(floor_pow2(31), 16u);
   EXPECT_EQ(floor_pow2(32), 32u);
+  // 0 has no power of two below it; the defined result is 0 (the naive
+  // `1 << (bit_width(0) - 1)` would shift by an out-of-range amount).
+  EXPECT_EQ(floor_pow2(0), 0u);
+  static_assert(floor_pow2(0) == 0);  // must also be constant-evaluable
 }
 
 TEST(Bitops, IsPow2) {
@@ -150,6 +154,86 @@ TEST(Bitops, HammingRangeMatchesNaive) {
       naive += get_bit(a, i) != get_bit(b, i);
     }
     EXPECT_EQ(hamming_range(a, b, pos, len), naive);
+  }
+}
+
+// The head/body/tail decomposition of hamming_range and flip_range has
+// distinct code paths for word-aligned starts, multi-word bodies, and
+// partial tails; sweep every (pos, len) shape that selects a different
+// combination, with the word-sized body lengths the encoders actually use.
+class RangeShapes : public ::testing::TestWithParam<std::tuple<usize, usize>> {
+};
+
+TEST_P(RangeShapes, HammingRangeMatchesNaive) {
+  const auto [pos, len] = GetParam();
+  Xoshiro256 rng{pos * 977 + len};
+  for (int iter = 0; iter < 20; ++iter) {
+    std::array<u64, 5> a{rng.next(), rng.next(), rng.next(), rng.next(),
+                         rng.next()};
+    std::array<u64, 5> b{rng.next(), rng.next(), rng.next(), rng.next(),
+                         rng.next()};
+    usize naive = 0;
+    for (usize i = pos; i < pos + len; ++i) {
+      naive += get_bit(a, i) != get_bit(b, i);
+    }
+    EXPECT_EQ(hamming_range(a, b, pos, len), naive)
+        << "pos=" << pos << " len=" << len;
+  }
+}
+
+TEST_P(RangeShapes, FlipRangeMatchesNaive) {
+  const auto [pos, len] = GetParam();
+  Xoshiro256 rng{pos * 1009 + len};
+  for (int iter = 0; iter < 20; ++iter) {
+    std::array<u64, 5> words{rng.next(), rng.next(), rng.next(), rng.next(),
+                             rng.next()};
+    const std::array<u64, 5> before = words;
+    flip_range(std::span<u64>{words}, pos, len);
+    for (usize b = 0; b < 320; ++b) {
+      const bool inside = b >= pos && b < pos + len;
+      EXPECT_EQ(get_bit(words, b), get_bit(before, b) != inside)
+          << "pos=" << pos << " len=" << len << " bit " << b;
+    }
+    // Involution: flipping again restores the original.
+    flip_range(std::span<u64>{words}, pos, len);
+    EXPECT_EQ(words, before) << "pos=" << pos << " len=" << len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlignedAndStraddling, RangeShapes,
+    ::testing::Values(
+        // Word-aligned starts: tail-only, exact single/multi word, and
+        // whole-words-plus-tail (the SAE segment shapes at each level).
+        std::tuple<usize, usize>{0, 1}, std::tuple<usize, usize>{0, 63},
+        std::tuple<usize, usize>{0, 64}, std::tuple<usize, usize>{0, 65},
+        std::tuple<usize, usize>{0, 128}, std::tuple<usize, usize>{64, 64},
+        std::tuple<usize, usize>{64, 192}, std::tuple<usize, usize>{128, 130},
+        // Unaligned starts: head-only (within one word), head reaching
+        // exactly to the boundary, head+tail, and head+body+tail.
+        std::tuple<usize, usize>{1, 1}, std::tuple<usize, usize>{5, 20},
+        std::tuple<usize, usize>{60, 4}, std::tuple<usize, usize>{60, 5},
+        std::tuple<usize, usize>{63, 2}, std::tuple<usize, usize>{63, 66},
+        std::tuple<usize, usize>{1, 63}, std::tuple<usize, usize>{33, 64},
+        std::tuple<usize, usize>{37, 200}, std::tuple<usize, usize>{191, 129}));
+
+// extract_bits has a dedicated word-aligned fast path; confirm it agrees
+// with the cross-boundary general case at the seam.
+TEST(Bitops, ExtractBitsAlignedFastPath) {
+  Xoshiro256 rng{11};
+  for (int iter = 0; iter < 50; ++iter) {
+    std::array<u64, 3> words{rng.next(), rng.next(), rng.next()};
+    for (const usize pos : {usize{0}, usize{64}, usize{128}}) {
+      for (const usize len : {usize{1}, usize{5}, usize{32}, usize{63},
+                              usize{64}}) {
+        u64 naive = 0;
+        for (usize i = 0; i < len; ++i) {
+          naive |= u64{get_bit(words, pos + i)} << i;
+        }
+        EXPECT_EQ(extract_bits(words, pos, len), naive)
+            << "pos=" << pos << " len=" << len;
+      }
+    }
   }
 }
 

@@ -1,0 +1,206 @@
+// Differential harness for the single-pass READ/SAE encode kernel: the
+// optimized ReadSaeEncoder must produce bit-identical stored images,
+// metadata and flip ledgers to ReferenceReadSae (the pre-kernel,
+// checked-primitives-only implementation kept as a test oracle) on every
+// write of every stream — randomized per-adversarial-class sweeps, a
+// mixed stream, and the write-back streams of all twelve benchmark
+// profiles.
+#include <algorithm>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/read_sae.hpp"
+#include "encoder_test_util.hpp"
+#include "reference_read_sae.hpp"
+#include "sim/collector.hpp"
+#include "trace/synthetic.hpp"
+
+namespace nvmenc {
+namespace {
+
+using testutil::ReferenceReadSae;
+using testutil::WriteClass;
+
+/// The configurations under differential test: the paper's READ and
+/// READ+SAE, the SAE-only ablation, the rotating-tag extension, and
+/// off-default tag budgets (including 64, where one tag window fills a
+/// whole metadata word, and 8, where the coarsest level has one tag).
+const AdaptiveConfig kConfigs[] = {
+    {.tag_budget = 32, .redundant_word_aware = true, .granularity_levels = 1},
+    {.tag_budget = 32, .redundant_word_aware = true, .granularity_levels = 4},
+    {.tag_budget = 32, .redundant_word_aware = false, .granularity_levels = 4},
+    {.tag_budget = 32,
+     .redundant_word_aware = true,
+     .granularity_levels = 4,
+     .rotate_tags = true},
+    {.tag_budget = 8, .redundant_word_aware = true, .granularity_levels = 4},
+    {.tag_budget = 16,
+     .redundant_word_aware = true,
+     .granularity_levels = 2,
+     .rotate_tags = true},
+    {.tag_budget = 64, .redundant_word_aware = true, .granularity_levels = 4},
+};
+
+void expect_identical(const StoredLine& got, const StoredLine& want,
+                      const FlipBreakdown& got_fb, const FlipBreakdown& want_fb,
+                      const char* what, int iter) {
+  ASSERT_EQ(got.data, want.data) << what << ": stored data diverge, write "
+                                 << iter;
+  ASSERT_TRUE(got.meta == want.meta)
+      << what << ": stored metadata diverge, write " << iter;
+  ASSERT_EQ(got_fb.data, want_fb.data) << what << " write " << iter;
+  ASSERT_EQ(got_fb.tag, want_fb.tag) << what << " write " << iter;
+  ASSERT_EQ(got_fb.flag, want_fb.flag) << what << " write " << iter;
+  ASSERT_EQ(got_fb.sets, want_fb.sets) << what << " write " << iter;
+  ASSERT_EQ(got_fb.resets, want_fb.resets) << what << " write " << iter;
+}
+
+/// Drives `iters` writes of one class through kernel and oracle in
+/// lockstep, asserting bit-identical images and ledgers after every write.
+void run_differential(const AdaptiveConfig& config, WriteClass wc, u64 seed,
+                      int iters) {
+  const ReadSaeEncoder kernel{config};
+  const ReferenceReadSae oracle{config};
+  ASSERT_EQ(kernel.meta_bits(), oracle.meta_bits());
+
+  Xoshiro256 rng{seed};
+  CacheLine logical = testutil::random_line(rng);
+  StoredLine sk = kernel.make_stored(logical);
+  StoredLine so = oracle.make_stored(logical);
+  for (int i = 0; i < iters; ++i) {
+    // Interleave the target class with random writes so the stored tag /
+    // flag state keeps visiting fresh configurations (a pure-silent or
+    // pure-complement stream would freeze it after two writes).
+    logical = (i % 4 == 3) ? testutil::next_line(rng, logical,
+                                                 WriteClass::kRandom)
+                           : testutil::next_line(rng, logical, wc);
+    const FlipBreakdown fk = kernel.encode(sk, logical);
+    const FlipBreakdown fo = oracle.encode(so, logical);
+    expect_identical(sk, so, fk, fo, testutil::write_class_name(wc), i);
+    if (::testing::Test::HasFatalFailure()) return;
+    ASSERT_EQ(kernel.decode(sk), logical);
+  }
+}
+
+class DifferentialClasses
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DifferentialClasses, KernelMatchesOracle) {
+  const auto [config_idx, class_idx] = GetParam();
+  const AdaptiveConfig& config = kConfigs[static_cast<usize>(config_idx)];
+  const WriteClass wc = testutil::kAllWriteClasses[class_idx];
+  // The paper's READ+SAE configuration gets the deep 10^4-write sweep per
+  // class; the other configurations get a shorter sweep (they share the
+  // kernel code paths, the budget/levels/rotation just reshape the tree).
+  const int iters = config_idx == 1 ? 10'000 : 1'500;
+  run_differential(config, wc,
+                   0xD1FFu * 131 + static_cast<u64>(config_idx) * 17 +
+                       static_cast<u64>(class_idx),
+                   iters);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigsAllClasses, DifferentialClasses,
+    ::testing::Combine(::testing::Range(0, static_cast<int>(std::size(kConfigs))),
+                       ::testing::Range(0, 6)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& param_info) {
+      const int c = std::get<0>(param_info.param);
+      const int k = std::get<1>(param_info.param);
+      const AdaptiveConfig& cfg = kConfigs[static_cast<usize>(c)];
+      std::string name = "budget" + std::to_string(cfg.tag_budget) + "_lv" +
+                         std::to_string(cfg.granularity_levels);
+      if (!cfg.redundant_word_aware) name += "_saeonly";
+      if (cfg.rotate_tags) name += "_rot";
+      name += "_";
+      name += testutil::write_class_name(testutil::kAllWriteClasses[k]);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(ReadSaeDifferential, MixedAdversarialStream) {
+  // All six classes interleaved at random — state transitions between
+  // classes (e.g. complement directly after sparse) are where plan
+  // selection is most delicate.
+  for (const AdaptiveConfig& config : kConfigs) {
+    const ReadSaeEncoder kernel{config};
+    const ReferenceReadSae oracle{config};
+    Xoshiro256 rng{4242};
+    CacheLine logical = testutil::random_line(rng);
+    StoredLine sk = kernel.make_stored(logical);
+    StoredLine so = oracle.make_stored(logical);
+    for (int i = 0; i < 2'000; ++i) {
+      logical = testutil::next_line(
+          rng, logical, testutil::kAllWriteClasses[rng.next_below(6)]);
+      const FlipBreakdown fk = kernel.encode(sk, logical);
+      const FlipBreakdown fo = oracle.encode(so, logical);
+      expect_identical(sk, so, fk, fo, "mixed", i);
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+class DifferentialProfiles : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialProfiles, FullProfileStreamMatchesOracle) {
+  // The real thing: the write-back stream each benchmark profile feeds
+  // the matrix, replayed per line through both implementations.
+  WorkloadProfile profile =
+      spec2006_profiles()[static_cast<usize>(GetParam())];
+  // Shrink the working set and cache hierarchy so 22k accesses generate a
+  // dense write-back stream (the default hierarchy barely evicts at this
+  // length); the profile's access mix and value patterns are unchanged.
+  profile.working_set_lines = std::min<usize>(profile.working_set_lines, 512);
+  SyntheticWorkload workload{profile, 1234};
+  CollectorConfig cc;
+  cc.caches = {
+      {.name = "L1", .size_bytes = 8 * kLineBytes, .ways = 2},
+      {.name = "L2", .size_bytes = 64 * kLineBytes, .ways = 4},
+  };
+  cc.warmup_accesses = 2'000;
+  cc.measured_accesses = 20'000;
+  const WritebackTrace trace = collect_writebacks(workload, cc);
+
+  const EncoderPtr kernel = make_read_sae();
+  const ReferenceReadSae oracle{
+      {.tag_budget = 32, .redundant_word_aware = true,
+       .granularity_levels = 4}};
+  std::unordered_map<u64, std::pair<StoredLine, StoredLine>> lines;
+  int writes = 0;
+  auto replay = [&](const std::vector<WriteBack>& wbs) {
+    for (const WriteBack& wb : wbs) {
+      auto it = lines.find(wb.line_addr);
+      if (it == lines.end()) {
+        const CacheLine pristine = trace.initial_line(wb.line_addr);
+        it = lines
+                 .emplace(wb.line_addr,
+                          std::make_pair(kernel->make_stored(pristine),
+                                         oracle.make_stored(pristine)))
+                 .first;
+      }
+      const FlipBreakdown fk = kernel->encode(it->second.first, wb.data);
+      const FlipBreakdown fo = oracle.encode(it->second.second, wb.data);
+      expect_identical(it->second.first, it->second.second, fk, fo,
+                       trace.benchmark.c_str(), writes);
+      if (::testing::Test::HasFatalFailure()) return;
+      ++writes;
+    }
+  };
+  replay(trace.warmup);
+  if (HasFatalFailure()) return;
+  replay(trace.measured);
+  EXPECT_GT(writes, 100) << "profile produced too few write-backs to test";
+}
+
+INSTANTIATE_TEST_SUITE_P(TwelveBenchmarks, DifferentialProfiles,
+                         ::testing::Range(0, 12),
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           return spec2006_profiles()[static_cast<usize>(
+                                                          param_info.param)]
+                               .name;
+                         });
+
+}  // namespace
+}  // namespace nvmenc
