@@ -33,7 +33,10 @@ int main() {
   Xoshiro256 rng{2026};
   CacheLine line;
   StoredLine stored = encoder.make_stored(line);
-  if (!store.store(0, stored, 0)) return 1;
+  if (!store.store(0, stored, 0)) {
+    std::cerr << "unexpected: pristine line unrecoverable, retiring\n";
+    return 1;
+  }
 
   // Phase 1: a healthy lifetime of partial updates.
   TextTable table{{"phase", "writes", "flips/write", "notes"}};
@@ -44,7 +47,11 @@ int main() {
       line.set_word(rng.next_below(kWordsPerLine), rng.next());
       stored = store.load(0);
       flips += encoder.encode(stored, line).total();
-      if (!store.store(0, stored, 0)) return 1;
+      if (!store.store(0, stored, 0)) {
+        std::cerr << "unexpected: healthy line unrecoverable at write " << i
+                  << ", retiring\n";
+        return 1;
+      }
       if (encoder.decode(store.load(0)) != line) return 1;
     }
     table.add_row({"healthy", std::to_string(writes),
@@ -67,6 +74,11 @@ int main() {
         stored = store.load(0);
         flips += encoder.encode(stored, line).total();
         if (!store.store(0, stored, 0)) {
+          // SAFER exhausted: log the retirement instead of dying silently
+          // (a full controller would remap to a spare line here).
+          std::cout << "line retired: SAFER found no partition for "
+                    << faults << " stuck cells ("
+                    << store.unrecoverable_lines() << " unrecoverable)\n";
           ok = false;
           break;
         }

@@ -1,0 +1,133 @@
+#include "fault/secded.hpp"
+
+#include <array>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+
+namespace nvmenc {
+
+namespace {
+
+constexpr bool is_pow2(usize x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Codeword position (1..71) of each of the 64 data bits: the non-power-
+/// of-two positions in ascending order; powers of two hold the parities.
+constexpr std::array<u8, 64> data_positions() {
+  std::array<u8, 64> pos{};
+  usize k = 0;
+  for (usize p = 1; p <= 71; ++p) {
+    if (!is_pow2(p)) pos[k++] = static_cast<u8>(p);
+  }
+  return pos;
+}
+
+/// Inverse map: data-bit index of a codeword position, 0xFF for parity
+/// positions.
+constexpr std::array<u8, 72> data_index_of_position() {
+  std::array<u8, 72> inv{};
+  for (auto& v : inv) v = 0xFF;
+  constexpr std::array<u8, 64> pos = data_positions();
+  for (usize k = 0; k < pos.size(); ++k) inv[pos[k]] = static_cast<u8>(k);
+  return inv;
+}
+
+constexpr std::array<u8, 64> kDataPos = data_positions();
+constexpr std::array<u8, 72> kDataIndex = data_index_of_position();
+
+/// Hamming parities p0..p6 of a payload word: bit i of the result is the
+/// parity over data bits whose codeword position has index bit i set
+/// (XOR-folding the positions of the set bits computes all seven at once).
+u32 hamming_parities(u64 data) noexcept {
+  u32 acc = 0;
+  while (data != 0) {
+    const usize k = static_cast<usize>(std::countr_zero(data));
+    data &= data - 1;
+    acc ^= kDataPos[k];
+  }
+  return acc;
+}
+
+}  // namespace
+
+u8 secded_encode(u64 data) noexcept {
+  const u32 parities = hamming_parities(data);
+  const usize ones = popcount(data) + popcount(static_cast<u64>(parities));
+  return static_cast<u8>(parities | ((ones & 1) << 7));
+}
+
+SecdedDecode secded_decode(u64 data, u8 check) noexcept {
+  const u32 stored_parities = check & 0x7Fu;
+  const u32 syndrome = hamming_parities(data) ^ stored_parities;
+  const usize ones = popcount(data) + popcount(u64{stored_parities});
+  const bool overall_err = ((ones & 1) != ((check >> 7) & 1));
+
+  SecdedDecode out;
+  out.data = data;
+  if (syndrome == 0 && !overall_err) {
+    out.status = SecdedStatus::kClean;
+    return out;
+  }
+  if (!overall_err) {
+    // Even number of flips but non-zero syndrome: a double error.
+    out.status = SecdedStatus::kUncorrectable;
+    return out;
+  }
+  // Odd number of flips: a single error at codeword position `syndrome`
+  // (0 = the overall parity cell itself). Positions outside the codeword
+  // can only arise from >= 3 flips.
+  if (syndrome >= kDataIndex.size()) {
+    out.status = SecdedStatus::kUncorrectable;
+    return out;
+  }
+  if (syndrome != 0 && kDataIndex[syndrome] != 0xFF) {
+    out.data ^= u64{1} << kDataIndex[syndrome];
+  }
+  // Flips in parity cells (syndrome 0 or a power of two) leave the
+  // payload intact; they still count as corrected events.
+  out.status = SecdedStatus::kCorrected;
+  return out;
+}
+
+BitBuf secded_protect(const BitBuf& payload) {
+  BitBuf out = payload;
+  const usize n = payload.size();
+  for (usize pos = 0; pos < n; pos += 64) {
+    const usize len = n - pos < 64 ? n - pos : 64;
+    out.push_bits(secded_encode(payload.bits(pos, len)), 8);
+  }
+  return out;
+}
+
+SecdedMetaDecode secded_unprotect(const BitBuf& stored, usize payload_bits) {
+  require(stored.size() == payload_bits + secded_check_bits(payload_bits),
+          "protected metadata region has the wrong width");
+  SecdedMetaDecode out;
+  out.payload = BitBuf{payload_bits};
+  usize chunk = 0;
+  for (usize pos = 0; pos < payload_bits; pos += 64, ++chunk) {
+    const usize len = payload_bits - pos < 64 ? payload_bits - pos : 64;
+    const u64 word = stored.bits(pos, len);
+    const u8 check =
+        static_cast<u8>(stored.bits(payload_bits + chunk * 8, 8));
+    const SecdedDecode dec = secded_decode(word, check);
+    switch (dec.status) {
+      case SecdedStatus::kClean:
+        break;
+      case SecdedStatus::kCorrected:
+        ++out.corrected;
+        break;
+      case SecdedStatus::kUncorrectable:
+        ++out.uncorrectable;
+        break;
+    }
+    // A "correction" landing in the zero padding of a partial final chunk
+    // is really a miscorrected multi-flip; the mask keeps it out of the
+    // payload either way.
+    const u64 mask = len == 64 ? ~u64{0} : (u64{1} << len) - 1;
+    out.payload.set_bits(pos, len, dec.data & mask);
+  }
+  return out;
+}
+
+}  // namespace nvmenc

@@ -1,46 +1,267 @@
 #include "nvm/controller.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <vector>
+
 #include "common/error.hpp"
+#include "fault/secded.hpp"
 #include "wear/wear_leveler.hpp"
 
 namespace nvmenc {
 
+namespace {
+
+/// Cells where two raw images disagree, in the combined index space the
+/// fault layer uses ([0, 512) data, 512 + i for metadata cell i), with the
+/// direction each cell must move to reach `want`.
+struct CellDiff {
+  std::vector<usize> cells;
+  usize sets = 0;    ///< cells that must go 0 -> 1
+  usize resets = 0;  ///< cells that must go 1 -> 0
+
+  [[nodiscard]] bool clean() const noexcept { return cells.empty(); }
+};
+
+CellDiff diff_cells(const StoredLine& want, const StoredLine& have) {
+  CellDiff d;
+  for (usize w = 0; w < kWordsPerLine; ++w) {
+    u64 diff = want.data.word(w) ^ have.data.word(w);
+    while (diff != 0) {
+      const usize bit = w * 64 + static_cast<usize>(std::countr_zero(diff));
+      diff &= diff - 1;
+      d.cells.push_back(bit);
+      want.data.bit(bit) ? ++d.sets : ++d.resets;
+    }
+  }
+  const usize meta = std::min(want.meta.size(), have.meta.size());
+  for (usize i = 0; i < meta; ++i) {
+    if (want.meta.bit(i) != have.meta.bit(i)) {
+      d.cells.push_back(kLineBits + i);
+      want.meta.bit(i) ? ++d.sets : ++d.resets;
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
 MemoryController::MemoryController(ControllerConfig config, EncoderPtr encoder,
                                    NvmDevice& device,
-                                   WearLeveler* wear_leveler)
+                                   WearLeveler* wear_leveler,
+                                   FaultContext* fault)
     : config_{config},
       encoder_{std::move(encoder)},
       device_{&device},
-      wear_leveler_{wear_leveler} {
+      wear_leveler_{wear_leveler},
+      fault_{fault},
+      resilient_{config.verify.active()} {
   require(encoder_ != nullptr, "controller needs an encoder");
+  require(config_.verify.retry_limit <= 16,
+          "retry_limit > 16: the exponential pulse escalation is meaningless"
+          " past 2^16x");
+  if (resilient_ && fault_ == nullptr) {
+    owned_fault_ = std::make_unique<FaultContext>(device);
+    fault_ = owned_fault_.get();
+  }
+  if (config_.verify.protect_meta) {
+    sensed_bits_ = kLineBits + secded_check_bits(encoder_->meta_bits());
+  }
 }
 
 CacheLine MemoryController::read_line(u64 line_addr) {
-  const StoredLine& stored = device_->load(line_addr);
+  if (!resilient_) {
+    const StoredLine& stored = device_->load(line_addr);
+    const CacheLine line = encoder_->decode(stored);
+    ++stats_.demand_reads;
+    stats_.energy.add_read(config_.energy,
+                           kLineBits);
+    return line;
+  }
+
+  const u64 phys = resolve(line_addr);
+  const StoredLine stored = decode_raw(phys, device_->load(phys));
   const CacheLine line = encoder_->decode(stored);
   ++stats_.demand_reads;
-  stats_.energy.add_read(config_.energy,
-                         kLineBits);
+  stats_.energy.add_read(config_.energy, sensed_bits_);
   return line;
 }
 
 void MemoryController::write_line(u64 line_addr, const CacheLine& data) {
-  StoredLine stored = device_->load(line_addr);  // read-before-write copy
+  if (!resilient_) {
+    StoredLine stored = device_->load(line_addr);  // read-before-write copy
+    const CacheLine old_logical = encoder_->decode(stored);
+    const usize dirty_words = popcount(data.dirty_mask(old_logical));
+
+    const FlipBreakdown fb = encoder_->encode(stored, data);
+    device_->store(line_addr, stored, fb.total());
+    if (wear_leveler_ != nullptr)
+      wear_leveler_->on_write(line_addr, fb.total());
+
+    ++stats_.writebacks;
+    if (dirty_words == 0) ++stats_.silent_writebacks;
+    stats_.dirty_words.add(dirty_words);
+    stats_.flips += fb;
+    // Silent write-backs bypass the encoder pipeline (no dirty words to
+    // encode), so its logic energy is only charged on real encodes.
+    stats_.energy.add_write(config_.energy, kLineBits, fb.sets, fb.resets,
+                            config_.charge_encode_logic && dirty_words > 0);
+    return;
+  }
+
+  const u64 phys = resolve(line_addr);
+  const StoredLine raw = device_->load(phys);  // read-before-write copy
+  StoredLine stored = decode_raw(phys, raw);
   const CacheLine old_logical = encoder_->decode(stored);
   const usize dirty_words = popcount(data.dirty_mask(old_logical));
 
   const FlipBreakdown fb = encoder_->encode(stored, data);
-  device_->store(line_addr, stored, fb.total());
-  if (wear_leveler_ != nullptr) wear_leveler_->on_write(line_addr, fb.total());
+
+  // Append (or refresh) the SECDED check cells; their flips are priced
+  // into the write energy but kept out of the encoder flip breakdown the
+  // scheme comparison reports — they are the protection's own cost.
+  StoredLine image = stored;
+  usize check_sets = 0;
+  usize check_resets = 0;
+  if (config_.verify.protect_meta) {
+    image.meta = secded_protect(stored.meta);
+    for (usize i = encoder_->meta_bits(); i < image.meta.size(); ++i) {
+      const bool now = image.meta.bit(i);
+      const bool before = i < raw.meta.size() ? raw.meta.bit(i) : false;
+      if (now != before) now ? ++check_sets : ++check_resets;
+    }
+  }
 
   ++stats_.writebacks;
   if (dirty_words == 0) ++stats_.silent_writebacks;
   stats_.dirty_words.add(dirty_words);
   stats_.flips += fb;
-  // Silent write-backs bypass the encoder pipeline (no dirty words to
-  // encode), so its logic energy is only charged on real encodes.
-  stats_.energy.add_write(config_.energy, kLineBits, fb.sets, fb.resets,
+  stats_.resilience.check_flips += check_sets + check_resets;
+  stats_.energy.add_write(config_.energy, sensed_bits_, fb.sets + check_sets,
+                          fb.resets + check_resets,
                           config_.charge_encode_logic && dirty_words > 0);
+  if (wear_leveler_ != nullptr) wear_leveler_->on_write(line_addr, fb.total());
+
+  const usize device_flips = fb.total() + check_sets + check_resets;
+  if (config_.verify.program_and_verify) {
+    store_verified(phys, line_addr, image, device_flips);
+  } else if (!fault_->safer.store(phys, image, device_flips)) {
+    retire(line_addr, image);
+  }
+}
+
+u64 MemoryController::resolve(u64 line_addr) const {
+  if (fault_ == nullptr || fault_->remap.empty()) return line_addr;
+  const auto it = fault_->remap.find(line_addr);
+  return it == fault_->remap.end() ? line_addr : it->second;
+}
+
+StoredLine MemoryController::decode_raw(u64 phys, const StoredLine& raw) {
+  StoredLine stored;
+  stored.data = fault_->safer.strip(phys, raw.data);
+  const usize payload = encoder_->meta_bits();
+  if (config_.verify.protect_meta && payload > 0 &&
+      raw.meta.size() == payload + secded_check_bits(payload)) {
+    SecdedMetaDecode decoded = secded_unprotect(raw.meta, payload);
+    stats_.resilience.meta_corrected += decoded.corrected;
+    stats_.resilience.meta_uncorrectable += decoded.uncorrectable;
+    stored.meta = std::move(decoded.payload);
+  } else {
+    // Unprotected width: a pristine line from an initializer that does not
+    // pre-protect. Passes through; the next write stores it protected.
+    stored.meta = raw.meta;
+  }
+  return stored;
+}
+
+StoredLine MemoryController::expected_raw(u64 phys,
+                                          const StoredLine& image) const {
+  StoredLine expected = image;
+  if (const SaferEncoding* enc = fault_->safer.encoding_of(phys)) {
+    expected.data = fault_->safer.codec().apply(image.data, *enc);
+  }
+  return expected;
+}
+
+void MemoryController::store_verified(u64 phys, u64 logical,
+                                      const StoredLine& image, usize flips) {
+  ++stats_.resilience.verified_writes;
+  if (!fault_->safer.store(phys, image, flips)) {
+    retire(logical, image);
+    return;
+  }
+  for (usize attempt = 0;; ++attempt) {
+    // Verify read: sense the whole line and compare against the raw image
+    // the store should have left (SAFER inversions included).
+    const StoredLine expected = expected_raw(phys, image);
+    const StoredLine readback = device_->load(phys);
+    stats_.energy.add_read(config_.energy, sensed_bits_);
+    const CellDiff diff = diff_cells(expected, readback);
+    if (diff.clean()) return;
+    if (attempt >= config_.verify.retry_limit) {
+      escalate(phys, logical, image, readback);
+      return;
+    }
+    // Re-program only the failed cells, escalating the pulse energy
+    // exponentially (WIRE-style iterative programming).
+    device_->store(phys, expected, diff.cells.size());
+    stats_.energy.add_retry(config_.energy, diff.sets, diff.resets,
+                            static_cast<double>(u64{1} << attempt));
+    ++stats_.resilience.write_retries;
+  }
+}
+
+void MemoryController::escalate(u64 phys, u64 logical,
+                                const StoredLine& image,
+                                const StoredLine& readback) {
+  ++stats_.resilience.retry_exhaustions;
+  // Cells still wrong after the retry budget are treated as hard stuck at
+  // their read-back value. SAFER can absorb stuck *data* cells by
+  // re-partitioning; a stuck metadata cell is outside its reach, so the
+  // line retires immediately.
+  const StoredLine expected = expected_raw(phys, image);
+  const CellDiff diff = diff_cells(expected, readback);
+  for (const usize cell : diff.cells) {
+    if (cell >= kLineBits) {
+      retire(logical, image);
+      return;
+    }
+  }
+  for (const usize cell : diff.cells) {
+    fault_->safer.report_fault(phys, cell, readback.data.bit(cell));
+  }
+  if (!fault_->safer.store(phys, image, diff.cells.size())) {
+    retire(logical, image);
+    return;
+  }
+  // One confirmation read: the re-partition must reproduce the image.
+  const StoredLine confirm = device_->load(phys);
+  stats_.energy.add_read(config_.energy, sensed_bits_);
+  if (diff_cells(expected_raw(phys, image), confirm).clean()) {
+    ++stats_.resilience.safer_remaps;
+  } else {
+    retire(logical, image);
+  }
+}
+
+void MemoryController::retire(u64 logical, const StoredLine& image) {
+  ++stats_.resilience.line_retirements;
+  const u64 spare = kSpareRegionBase + fault_->spares_used * kLineBytes;
+  ++fault_->spares_used;
+  fault_->remap[logical] = spare;
+
+  // Price the copy as a differential write against the pristine spare.
+  const StoredLine pristine = device_->load(spare);
+  const CellDiff diff = diff_cells(image, pristine);
+  device_->store(spare, image, diff.cells.size());
+  stats_.energy.add_write(config_.energy, sensed_bits_, diff.sets,
+                          diff.resets, false);
+
+  // Verify the spare once; a mismatch here means the data the caller
+  // believes is stored is not — a detected silent-data-corruption event.
+  const StoredLine& confirm = device_->load(spare);
+  stats_.energy.add_read(config_.energy, sensed_bits_);
+  if (!diff_cells(image, confirm).clean()) ++stats_.resilience.sdc_detected;
 }
 
 }  // namespace nvmenc

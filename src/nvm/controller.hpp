@@ -7,25 +7,74 @@
 // evaluation reports: flip breakdowns (Figures 9/11), the energy ledger
 // (Figure 10), and the dirty-word histogram / tag-utilization numbers
 // (Figure 2).
+//
+// When a resilience policy is configured (VerifyConfig), the write path
+// becomes program-and-verify: store, read back, re-pulse the cells that
+// failed (bounded exponential escalation), then — for cells that never
+// land — escalate to a SAFER re-partition of the line and finally to
+// retirement onto a spare line via a remap table. The metadata region can
+// additionally be protected by SECDED(72,64) check cells. With the policy
+// off (the default) the controller takes the exact legacy path and its
+// statistics are bit-identical to a build without the fault layer.
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 
 #include "cache/hierarchy.hpp"
 #include "common/stats.hpp"
 #include "encoding/encoder.hpp"
 #include "nvm/device.hpp"
 #include "nvm/energy_model.hpp"
+#include "nvm/recovery.hpp"
 
 namespace nvmenc {
 
 class WearLeveler;  // src/wear — observes (line, flips) write events
+
+/// Spare lines live far above any workload address; retirement allocates
+/// them sequentially.
+inline constexpr u64 kSpareRegionBase = u64{1} << 62;
+
+/// The controller's response policy to misbehaving cells.
+struct VerifyConfig {
+  /// Program-and-verify: read back every store and re-pulse failed cells.
+  bool program_and_verify = false;
+  /// Re-program attempts (with 2^i pulse-energy escalation) before the
+  /// write escalates to SAFER remap / retirement.
+  usize retry_limit = 3;
+  /// Protect the per-line metadata region with SECDED(72,64) check cells
+  /// (src/fault/secded.hpp): single meta-cell flips are corrected on read.
+  bool protect_meta = false;
+
+  [[nodiscard]] bool active() const noexcept {
+    return program_and_verify || protect_meta;
+  }
+};
 
 struct ControllerConfig {
   EnergyParams energy;
   /// Charge the encoder-logic energy/latency per write. The paper accounts
   /// it for READ and READ+SAE only (Section 4.2.2).
   bool charge_encode_logic = false;
+  VerifyConfig verify;
+};
+
+/// Counters of the resilience path (all zero when VerifyConfig is off).
+struct ResilienceStats {
+  u64 verified_writes = 0;    ///< writes that ran the verify loop
+  u64 write_retries = 0;      ///< re-program pulses issued
+  u64 retry_exhaustions = 0;  ///< writes that escalated past the budget
+  u64 safer_remaps = 0;       ///< escalations absorbed by a re-partition
+  u64 line_retirements = 0;   ///< lines moved to a spare
+  u64 sdc_detected = 0;       ///< writes left corrupt after every escalation
+  u64 meta_corrected = 0;     ///< SECDED single-flip corrections
+  u64 meta_uncorrectable = 0; ///< SECDED double-flip detections
+  u64 check_flips = 0;        ///< SECDED check-cell writes (capacity cost)
+
+  [[nodiscard]] u64 escalations() const noexcept {
+    return safer_remaps + line_retirements;
+  }
 };
 
 struct ControllerStats {
@@ -35,6 +84,7 @@ struct ControllerStats {
   FlipBreakdown flips;
   Histogram dirty_words{kWordsPerLine};  ///< modified words per write-back
   EnergyLedger energy;
+  ResilienceStats resilience;
 
   /// Figure 2's utilization metric: the fraction of per-word tag bits a
   /// conventional encoder would actually use = E[dirty words] / 8.
@@ -45,12 +95,29 @@ struct ControllerStats {
   }
 };
 
+/// Long-lived fault-recovery state of one device: the SAFER layer's known
+/// stuck cells and active encodings, plus the spare-line remap table.
+/// Shared by every controller over the device's lifetime (the replay
+/// harness runs a warm-up controller and a measured controller over one
+/// device; retiring a line in warm-up must stay retired).
+struct FaultContext {
+  explicit FaultContext(NvmDevice& device, SaferCodec codec = SaferCodec{5})
+      : safer{device, std::move(codec)} {}
+
+  FaultTolerantStore safer;
+  std::unordered_map<u64, u64> remap;  ///< logical line addr -> spare addr
+  u64 spares_used = 0;
+};
+
 class MemoryController final : public LineBackend {
  public:
   /// The controller owns the encoder; the device must outlive the
-  /// controller. `wear_leveler` may be null.
+  /// controller. `wear_leveler` may be null. `fault` carries the SAFER /
+  /// remap state shared across controllers of one device; when null and
+  /// the verify policy is active, the controller owns a private context.
   MemoryController(ControllerConfig config, EncoderPtr encoder,
-                   NvmDevice& device, WearLeveler* wear_leveler = nullptr);
+                   NvmDevice& device, WearLeveler* wear_leveler = nullptr,
+                   FaultContext* fault = nullptr);
 
   [[nodiscard]] CacheLine read_line(u64 line_addr) override;
   void write_line(u64 line_addr, const CacheLine& data) override;
@@ -63,13 +130,37 @@ class MemoryController final : public LineBackend {
   void reset_stats() { stats_ = ControllerStats{}; }
   [[nodiscard]] const Encoder& encoder() const noexcept { return *encoder_; }
   [[nodiscard]] NvmDevice& device() noexcept { return *device_; }
+  [[nodiscard]] const FaultContext* fault_context() const noexcept {
+    return fault_;
+  }
 
  private:
+  /// Physical location of a logical line (identity until retired).
+  [[nodiscard]] u64 resolve(u64 line_addr) const;
+  /// Decodes a raw device image: SECDED-corrects the metadata (counting
+  /// corrections) and strips the line's SAFER inversions.
+  [[nodiscard]] StoredLine decode_raw(u64 phys, const StoredLine& raw);
+  /// The raw cell image `image` should occupy at `phys` (SAFER applied).
+  [[nodiscard]] StoredLine expected_raw(u64 phys,
+                                        const StoredLine& image) const;
+  /// Program-and-verify store of `image` (metadata already protected).
+  void store_verified(u64 phys, u64 logical, const StoredLine& image,
+                      usize flips);
+  /// Retry budget exhausted: SAFER re-partition, then retirement.
+  void escalate(u64 phys, u64 logical, const StoredLine& image,
+                const StoredLine& readback);
+  /// Moves the line to a fresh spare and updates the remap table.
+  void retire(u64 logical, const StoredLine& image);
+
   ControllerConfig config_;
   EncoderPtr encoder_;
   NvmDevice* device_;
   WearLeveler* wear_leveler_;
   ControllerStats stats_;
+  std::unique_ptr<FaultContext> owned_fault_;
+  FaultContext* fault_ = nullptr;
+  bool resilient_ = false;
+  usize sensed_bits_ = kLineBits;
 };
 
 }  // namespace nvmenc

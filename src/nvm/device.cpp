@@ -29,8 +29,37 @@ NvmDevice::LineState& NvmDevice::state(u64 line_addr) {
   return it->second;
 }
 
+void NvmDevice::add_stuck_bit(LineState& st, usize bit) {
+  if (std::binary_search(st.stuck_bits.begin(), st.stuck_bits.end(), bit)) {
+    return;
+  }
+  st.stuck_bits.insert(
+      std::lower_bound(st.stuck_bits.begin(), st.stuck_bits.end(), bit),
+      bit);
+  if (st.stuck_bits.size() == 1) ++failed_lines_;
+}
+
 const StoredLine& NvmDevice::load(u64 line_addr) {
-  return state(line_addr).image;
+  LineState& st = state(line_addr);
+  if (config_.injector != nullptr && config_.injector->enabled()) {
+    const usize cells = kLineBits + st.image.meta.size();
+    if (const std::optional<usize> hit =
+            config_.injector->on_load(line_addr, st.reads, cells)) {
+      // A disturbed cell drifts to its complement in the array; hard-stuck
+      // cells hold their value regardless.
+      if (*hit < kLineBits) {
+        if (!std::binary_search(st.stuck_bits.begin(), st.stuck_bits.end(),
+                                *hit)) {
+          st.image.data.set_bit(*hit, !st.image.data.bit(*hit));
+        }
+      } else {
+        const usize m = *hit - kLineBits;
+        st.image.meta.set_bit(m, !st.image.meta.bit(m));
+      }
+    }
+    ++st.reads;
+  }
+  return st.image;
 }
 
 void NvmDevice::store(u64 line_addr, const StoredLine& image, usize flips) {
@@ -42,7 +71,9 @@ void NvmDevice::store(u64 line_addr, const StoredLine& image, usize flips) {
   const std::vector<usize> stuck_before = st.stuck_bits;
 
   if (!st.bit_wear.empty()) {
-    // Walk the changed data bits for per-bit wear and endurance.
+    // Walk the changed data bits for per-bit wear and endurance. Wear
+    // counts program *pulses*: a pulse that an injector then fails still
+    // stressed the cell.
     for (usize w = 0; w < kWordsPerLine; ++w) {
       u64 diff = st.image.data.word(w) ^ image.data.word(w);
       while (diff != 0) {
@@ -50,14 +81,8 @@ void NvmDevice::store(u64 line_addr, const StoredLine& image, usize flips) {
         diff &= diff - 1;
         ++st.bit_wear[bit];
         if (config_.endurance != 0 &&
-            st.bit_wear[bit] >= config_.endurance &&
-            !std::binary_search(st.stuck_bits.begin(), st.stuck_bits.end(),
-                                bit)) {
-          st.stuck_bits.insert(
-              std::lower_bound(st.stuck_bits.begin(), st.stuck_bits.end(),
-                               bit),
-              bit);
-          if (st.stuck_bits.size() == 1) ++failed_lines_;
+            st.bit_wear[bit] >= config_.endurance) {
+          add_stuck_bit(st, bit);
         }
       }
     }
@@ -74,6 +99,24 @@ void NvmDevice::store(u64 line_addr, const StoredLine& image, usize flips) {
   StoredLine next = image;
   for (usize bit : stuck_before) {
     next.data.set_bit(bit, st.image.data.bit(bit));
+  }
+
+  // Injected faults: transiently failed pulses leave the old value in
+  // place; hard faults freeze the cell at the value it now holds.
+  if (config_.injector != nullptr && config_.injector->enabled()) {
+    const WriteFaults faults =
+        config_.injector->on_store(line_addr, st.wear.writes, st.image, next);
+    for (usize cell : faults.failed_cells) {
+      if (cell < kLineBits) {
+        next.data.set_bit(cell, st.image.data.bit(cell));
+      } else {
+        const usize m = cell - kLineBits;
+        if (m < next.meta.size() && m < st.image.meta.size()) {
+          next.meta.set_bit(m, st.image.meta.bit(m));
+        }
+      }
+    }
+    for (usize bit : faults.new_stuck_cells) add_stuck_bit(st, bit);
   }
 
   st.image = next;
@@ -96,13 +139,7 @@ const std::vector<u32>* NvmDevice::bit_wear(u64 line_addr) const {
 
 void NvmDevice::inject_stuck_bit(u64 line_addr, usize bit) {
   require(bit < kLineBits, "stuck bit must be a data-cell position");
-  LineState& st = state(line_addr);
-  if (!std::binary_search(st.stuck_bits.begin(), st.stuck_bits.end(), bit)) {
-    st.stuck_bits.insert(
-        std::lower_bound(st.stuck_bits.begin(), st.stuck_bits.end(), bit),
-        bit);
-    if (st.stuck_bits.size() == 1) ++failed_lines_;
-  }
+  add_stuck_bit(state(line_addr), bit);
 }
 
 }  // namespace nvmenc

@@ -15,6 +15,7 @@
 
 #include "common/types.hpp"
 #include "encoding/encoder.hpp"
+#include "fault/fault_injector.hpp"
 
 namespace nvmenc {
 
@@ -27,6 +28,10 @@ struct NvmDeviceConfig {
   /// Track a full per-bit wear map for every `bit_wear_sample`-th line
   /// (0 disables per-bit tracking).
   usize bit_wear_sample = 0;
+  /// Optional transient/hard fault source (src/fault). Not owned; must
+  /// outlive the device. nullptr (or all rates zero) = ideal cells, and
+  /// the store/load paths are bit-identical to a device without one.
+  FaultInjector* injector = nullptr;
 };
 
 /// Per-line wear summary.
@@ -44,13 +49,19 @@ class NvmDevice {
   /// image passed through the encoder).
   NvmDevice(NvmDeviceConfig config, Initializer initializer);
 
-  /// Current stored image (creating the line if pristine).
+  /// Current stored image (creating the line if pristine). When a fault
+  /// injector is attached, the read may disturb one cell of the stored
+  /// image (data or metadata) to its complement before returning.
   [[nodiscard]] const StoredLine& load(u64 line_addr);
 
   /// Replaces the stored image, accounting wear for `flips` cell flips.
   /// When endurance modelling is on, stuck cells silently hold their old
   /// value (writes to them are dropped) — the SAFER-style failure mode the
-  /// paper cites.
+  /// paper cites. When a fault injector is attached, programmed cells may
+  /// transiently fail (retain their old value) or become hard stuck; the
+  /// device applies the damage silently, exactly like real PCM — callers
+  /// that care must read back and verify (MemoryController's
+  /// program-and-verify path does).
   void store(u64 line_addr, const StoredLine& image, usize flips);
 
   [[nodiscard]] const LineWear* wear(u64 line_addr) const;
@@ -76,10 +87,13 @@ class NvmDevice {
     /// Stuck data-cell positions (sorted); empty for healthy lines.
     std::vector<usize> stuck_bits;
     std::vector<u32> bit_wear;  ///< per data+meta bit; empty if unsampled
+    u64 reads = 0;              ///< load events (fault-injection sequence)
   };
 
   LineState& state(u64 line_addr);
   [[nodiscard]] bool sampled(u64 line_addr) const noexcept;
+  /// Freezes a data cell (idempotent); bumps failed_lines_ on the first.
+  void add_stuck_bit(LineState& st, usize bit);
 
   NvmDeviceConfig config_;
   Initializer initializer_;

@@ -67,6 +67,18 @@ struct EnergyLedger {
     }
     busy_ns += p.write_latency_ns;
   }
+
+  /// A program-and-verify retry: re-pulses the `sets` + `resets` cells
+  /// that failed verification at `pulse_scale`x the nominal cell energy
+  /// (the controller escalates the pulse exponentially per iteration).
+  /// No sensing is charged here — the verify read that exposed the failed
+  /// cells is charged separately via add_read.
+  void add_retry(const EnergyParams& p, usize sets, usize resets,
+                 double pulse_scale) noexcept {
+    write_pj += pulse_scale * (static_cast<double>(sets) * p.set_pj +
+                               static_cast<double>(resets) * p.reset_pj);
+    busy_ns += p.write_latency_ns;
+  }
 };
 
 }  // namespace nvmenc

@@ -44,11 +44,19 @@ bool FaultTolerantStore::store(u64 line_addr, const StoredLine& image,
 
 StoredLine FaultTolerantStore::load(u64 line_addr) {
   StoredLine image = device_->load(line_addr);
-  const auto it = encodings_.find(line_addr);
-  if (it != encodings_.end()) {
-    image.data = codec_.apply(image.data, it->second);
-  }
+  image.data = strip(line_addr, image.data);
   return image;
+}
+
+CacheLine FaultTolerantStore::strip(u64 line_addr,
+                                    const CacheLine& raw) const {
+  const auto it = encodings_.find(line_addr);
+  return it == encodings_.end() ? raw : codec_.apply(raw, it->second);
+}
+
+const SaferEncoding* FaultTolerantStore::encoding_of(u64 line_addr) const {
+  const auto it = encodings_.find(line_addr);
+  return it == encodings_.end() ? nullptr : &it->second;
 }
 
 }  // namespace nvmenc

@@ -41,6 +41,17 @@ class FaultTolerantStore {
   /// Loads the stored image with SAFER inversions removed.
   [[nodiscard]] StoredLine load(u64 line_addr);
 
+  /// Removes (== applies: it is an involution) the line's active SAFER
+  /// inversions from raw data cells already read from the device; identity
+  /// when the line has none. Lets callers that hold the raw image avoid a
+  /// second device read (the controller's program-and-verify path).
+  [[nodiscard]] CacheLine strip(u64 line_addr, const CacheLine& raw) const;
+
+  /// The line's active SAFER encoding, nullptr when none.
+  [[nodiscard]] const SaferEncoding* encoding_of(u64 line_addr) const;
+
+  [[nodiscard]] const SaferCodec& codec() const noexcept { return codec_; }
+
   [[nodiscard]] usize faulty_lines() const noexcept {
     return faults_.size();
   }

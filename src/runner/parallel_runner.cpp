@@ -26,10 +26,12 @@ namespace {
 /// Collected state of one benchmark. The workload must stay alive for as
 /// long as the trace is replayed: WritebackTrace::initial_line refers back
 /// into it (SyntheticWorkload::initial_line is const and pure, so
-/// concurrent replay cells may share it).
+/// concurrent replay cells may share it). A collection failure is captured
+/// here and propagated into every cell of the benchmark's row.
 struct CollectedBenchmark {
   std::unique_ptr<SyntheticWorkload> workload;
   WritebackTrace trace;
+  std::optional<CellError> error;
 };
 
 std::string collect_detail(const WritebackTrace& trace) {
@@ -62,18 +64,43 @@ ExperimentMatrix ParallelExperimentRunner::run(
       num_benchmarks, std::vector<ReplayResult>(num_schemes));
 
   auto collect_one = [&](usize b) {
-    collected[b].workload = std::make_unique<SyntheticWorkload>(
-        profiles[b], benchmark_seed(config.seed, b));
-    collected[b].trace =
-        collect_writebacks(*collected[b].workload, config.collector);
+    try {
+      collected[b].workload = std::make_unique<SyntheticWorkload>(
+          profiles[b], benchmark_seed(config.seed, b));
+      collected[b].trace =
+          collect_writebacks(*collected[b].workload, config.collector);
+    } catch (const std::exception& e) {
+      collected[b].error = CellError{"collect", e.what()};
+    }
     if (progress != nullptr) {
       progress->job_done(profiles[b].name,
-                         collect_detail(collected[b].trace));
+                         collected[b].error
+                             ? "FAILED: " + collected[b].error->message
+                             : collect_detail(collected[b].trace));
     }
   };
+  // Graceful degradation: a cell that throws (collect or replay) records a
+  // structured CellError and leaves the rest of the matrix to complete.
+  // The fault-injection stream of each cell is salted by its flat index,
+  // a formula shared by the serial and pooled paths, so a seeded fault
+  // sweep is bit-identical for every --jobs value.
   auto replay_one = [&](usize b, usize s) {
-    results[b][s] =
-        replay_scheme(collected[b].trace, schemes[s], config.energy);
+    ReplayResult& cell = results[b][s];
+    if (collected[b].error) {
+      cell.benchmark = names[b];
+      cell.scheme = scheme_name(schemes[s]);
+      cell.error = collected[b].error;
+      return;
+    }
+    try {
+      cell = replay_scheme(collected[b].trace, schemes[s], config.energy,
+                           config.fault, b * num_schemes + s + 1);
+    } catch (const std::exception& e) {
+      cell = ReplayResult{};
+      cell.benchmark = names[b];
+      cell.scheme = scheme_name(schemes[s]);
+      cell.error = CellError{"replay", e.what()};
+    }
   };
 
   if (jobs_ == 1) {
@@ -92,12 +119,27 @@ ExperimentMatrix ParallelExperimentRunner::run(
   }
 
   if (progress != nullptr) {
+    usize failed = 0;
+    const ReplayResult* first_failure = nullptr;
+    for (const auto& row : results) {
+      for (const ReplayResult& cell : row) {
+        if (cell.ok()) continue;
+        ++failed;
+        if (first_failure == nullptr) first_failure = &cell;
+      }
+    }
     std::ostringstream summary;
     summary.setf(std::ios::fixed);
     summary.precision(1);
     summary << "  [runner] " << num_benchmarks << "x" << num_schemes
             << " cells, jobs=" << jobs_ << ", "
             << progress->elapsed_seconds() << "s";
+    if (first_failure != nullptr) {
+      summary << ", " << failed << " failed (first: "
+              << first_failure->benchmark << "/" << first_failure->scheme
+              << " " << first_failure->error->phase << ": "
+              << first_failure->error->message << ")";
+    }
     progress->announce(summary.str());
   }
   return {std::move(names), std::move(schemes), std::move(results)};

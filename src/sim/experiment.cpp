@@ -1,5 +1,8 @@
 #include "sim/experiment.hpp"
 
+#include <cmath>
+#include <limits>
+
 #include "common/error.hpp"
 #include "common/stats.hpp"
 
@@ -43,10 +46,37 @@ const ReplayResult& ExperimentMatrix::at(const std::string& benchmark,
                               benchmark);
 }
 
+bool ExperimentMatrix::cell_ok(usize benchmark, usize scheme) const {
+  return at(benchmark, scheme).ok();
+}
+
+usize ExperimentMatrix::failed_cells() const noexcept {
+  usize failed = 0;
+  for (const auto& row : results_) {
+    for (const ReplayResult& cell : row) {
+      if (!cell.ok()) ++failed;
+    }
+  }
+  return failed;
+}
+
+const ReplayResult* ExperimentMatrix::first_failure() const noexcept {
+  for (const auto& row : results_) {
+    for (const ReplayResult& cell : row) {
+      if (!cell.ok()) return &cell;
+    }
+  }
+  return nullptr;
+}
+
 double ExperimentMatrix::ratio(usize benchmark, Scheme scheme, Scheme base,
                                const Metric& metric) const {
-  const double numer = metric(at(benchmark, scheme_index(scheme)));
-  const double denom = metric(at(benchmark, scheme_index(base)));
+  const ReplayResult& numer_cell = at(benchmark, scheme_index(scheme));
+  const ReplayResult& denom_cell = at(benchmark, scheme_index(base));
+  require(numer_cell.ok() && denom_cell.ok(),
+          "ratio over a failed matrix cell");
+  const double numer = metric(numer_cell);
+  const double denom = metric(denom_cell);
   require(denom > 0.0, "baseline metric must be positive");
   return numer / denom;
 }
@@ -57,17 +87,21 @@ TextTable ExperimentMatrix::normalized_table(const Metric& metric,
   for (Scheme s : schemes_) header.push_back(scheme_name(s));
   TextTable table{std::move(header)};
 
+  const usize base_idx = scheme_index(base);
   for (usize b = 0; b < benchmarks_.size(); ++b) {
     std::vector<std::string> row{benchmarks_[b]};
-    for (Scheme s : schemes_) {
-      row.push_back(TextTable::fmt(ratio(b, s, base, metric)));
+    for (usize s = 0; s < schemes_.size(); ++s) {
+      row.push_back(cell_ok(b, s) && cell_ok(b, base_idx)
+                        ? TextTable::fmt(ratio(b, schemes_[s], base, metric))
+                        : "n/a");
     }
     table.add_row(std::move(row));
   }
 
   std::vector<std::string> avg{"average"};
   for (Scheme s : schemes_) {
-    avg.push_back(TextTable::fmt(average_ratio(s, base, metric)));
+    const double mean = average_ratio(s, base, metric);
+    avg.push_back(std::isnan(mean) ? "n/a" : TextTable::fmt(mean));
   }
   table.add_row(std::move(avg));
   return table;
@@ -75,11 +109,15 @@ TextTable ExperimentMatrix::normalized_table(const Metric& metric,
 
 double ExperimentMatrix::average_ratio(Scheme scheme, Scheme base,
                                        const Metric& metric) const {
+  const usize scheme_idx = scheme_index(scheme);
+  const usize base_idx = scheme_index(base);
   std::vector<double> ratios;
   ratios.reserve(benchmarks_.size());
   for (usize b = 0; b < benchmarks_.size(); ++b) {
+    if (!cell_ok(b, scheme_idx) || !cell_ok(b, base_idx)) continue;
     ratios.push_back(ratio(b, scheme, base, metric));
   }
+  if (ratios.empty()) return std::numeric_limits<double>::quiet_NaN();
   return geomean(ratios);
 }
 

@@ -26,8 +26,12 @@ struct ExperimentConfig {
   /// Worker threads for the matrix: 0 = one per hardware context,
   /// 1 = serial. Results are bit-identical for every value (each
   /// benchmark's workload is seeded with a splitmix64 child of `seed`,
-  /// see src/runner/parallel_runner.hpp).
+  /// see src/runner/parallel_runner.hpp; fault-injection streams are
+  /// per-cell seeded the same way).
   usize jobs = 0;
+  /// Fault-injection rates + resilience policy applied to every replay
+  /// cell. Inactive (the default) = the exact legacy pipeline.
+  FaultPlan fault;
 };
 
 class ExperimentMatrix {
@@ -46,19 +50,35 @@ class ExperimentMatrix {
   [[nodiscard]] const ReplayResult& at(const std::string& benchmark,
                                        Scheme scheme) const;
 
+  /// Graceful-degradation view: a cell whose collect or replay threw holds
+  /// a CellError instead of statistics.
+  [[nodiscard]] bool cell_ok(usize benchmark, usize scheme) const;
+  /// Cells carrying an error.
+  [[nodiscard]] usize failed_cells() const noexcept;
+  [[nodiscard]] usize total_cells() const noexcept {
+    return benchmarks_.size() * schemes_.size();
+  }
+  /// The first failed cell in row-major (benchmark, scheme) order, or
+  /// nullptr when the matrix is fully healthy. The pointed-to result
+  /// carries the benchmark/scheme labels and the CellError.
+  [[nodiscard]] const ReplayResult* first_failure() const noexcept;
+
   using Metric = std::function<double(const ReplayResult&)>;
 
-  /// metric(scheme) / metric(base) for one benchmark.
+  /// metric(scheme) / metric(base) for one benchmark. Throws when either
+  /// cell failed.
   [[nodiscard]] double ratio(usize benchmark, Scheme scheme, Scheme base,
                              const Metric& metric) const;
 
   /// Normalized table in the paper's figure layout: one row per benchmark,
   /// one column per scheme, values metric/metric(base); a final geomean
-  /// row ("average") matches the paper's summary statistics.
+  /// row ("average") matches the paper's summary statistics. Failed cells
+  /// (and every cell of a row whose baseline failed) print "n/a".
   [[nodiscard]] TextTable normalized_table(const Metric& metric,
                                            Scheme base) const;
 
-  /// Geomean of the per-benchmark ratios of `scheme` vs `base`.
+  /// Geomean of the per-benchmark ratios of `scheme` vs `base` over the
+  /// benchmarks where both cells succeeded; NaN when none did.
   [[nodiscard]] double average_ratio(Scheme scheme, Scheme base,
                                      const Metric& metric) const;
 

@@ -1,6 +1,10 @@
 #include "sim/replay.hpp"
 
+#include <optional>
+
+#include "common/rng.hpp"
 #include "core/paper_model.hpp"
+#include "fault/secded.hpp"
 
 namespace nvmenc {
 
@@ -71,34 +75,62 @@ ReplayResult replay_paper_model(const WritebackTrace& trace, Scheme scheme,
 }  // namespace
 
 ReplayResult replay_scheme(const WritebackTrace& trace, Scheme scheme,
-                           const EnergyParams& energy) {
+                           const EnergyParams& energy, const FaultPlan& fault,
+                           u64 fault_seed_salt) {
   if (is_paper_model(scheme)) {
+    // Idealized accounting has no device, hence no cells to misbehave.
     return replay_paper_model(trace, scheme, energy);
   }
   EncoderPtr encoder = make_encoder(scheme);
   const Encoder* enc = encoder.get();
 
+  std::optional<FaultInjector> injector;
+  NvmDeviceConfig device_config;
+  if (fault.inject.any()) {
+    FaultInjectorConfig inject = fault.inject;
+    inject.seed = SplitMix64{fault.inject.seed ^ fault_seed_salt}.next();
+    injector.emplace(inject);
+    device_config.injector = &*injector;
+  }
+
+  const bool protect = fault.protect_meta;
   NvmDevice device{
-      NvmDeviceConfig{},
-      [&trace, enc](u64 addr) {
-        return enc->make_stored(trace.initial_line(addr));
+      device_config,
+      [&trace, enc, protect](u64 addr) {
+        StoredLine stored = enc->make_stored(trace.initial_line(addr));
+        if (protect) stored.meta = secded_protect(stored.meta);
+        return stored;
       }};
 
   ControllerConfig config;
   config.energy = energy;
   config.charge_encode_logic = charges_encode_logic(scheme);
+  config.verify.program_and_verify = fault.active();
+  config.verify.retry_limit = fault.retry_limit;
+  config.verify.protect_meta = protect;
+
+  // SAFER encodings, the remap table and retired lines are device state:
+  // one context spans the warm-up and measured controllers.
+  std::optional<FaultContext> fault_context;
+  FaultContext* fault_state = nullptr;
+  if (fault.active()) {
+    fault_context.emplace(device);
+    fault_state = &*fault_context;
+  }
 
   // Warm-up pass on a throwaway controller sharing the device: brings
   // stored images, tags and flags to steady state.
   {
-    MemoryController warmup{config, make_encoder(scheme), device};
+    MemoryController warmup{config, make_encoder(scheme), device, nullptr,
+                            fault_state};
     for (const WriteBack& wb : trace.warmup) {
       warmup.write_line(wb.line_addr, wb.data);
     }
   }
 
   const u64 flips_before = device.total_flips();
-  MemoryController controller{config, std::move(encoder), device};
+  MemoryController controller{config, std::move(encoder), device, nullptr,
+                              fault_state};
   for (const WriteBack& wb : trace.measured) {
     controller.write_line(wb.line_addr, wb.data);
   }

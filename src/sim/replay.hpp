@@ -7,11 +7,22 @@
 // comparable the way Section 4.2.2 compares them).
 #pragma once
 
+#include <optional>
+
 #include "core/schemes.hpp"
+#include "fault/fault_injector.hpp"
 #include "nvm/controller.hpp"
 #include "sim/collector.hpp"
 
 namespace nvmenc {
+
+/// Structured failure record of one matrix cell: the phase that threw
+/// ("collect" or "replay") and the exception message. Cells carrying an
+/// error hold empty statistics and are excluded from normalized tables.
+struct CellError {
+  std::string phase;
+  std::string message;
+};
 
 struct ReplayResult {
   std::string benchmark;
@@ -19,12 +30,28 @@ struct ReplayResult {
   ControllerStats stats;
   usize meta_bits = 0;
   u64 device_flips = 0;  ///< device-side cross-check of stats.flips.total()
+  std::optional<CellError> error;
+
+  [[nodiscard]] bool ok() const noexcept { return !error.has_value(); }
 };
 
 /// The trace's `initial_line` function must still be valid (i.e. the
 /// workload that produced it must be alive).
+///
+/// `fault` configures the resilience experiment: non-zero injection rates
+/// attach a FaultInjector to the device and the controller write path runs
+/// program-and-verify (`FaultPlan::retry_limit`, SAFER escalation, line
+/// retirement); `protect_meta` adds SECDED check cells to the metadata
+/// region. The injector is seeded with splitmix64(plan seed ^
+/// `fault_seed_salt`), so per-cell salts give every matrix cell a
+/// decorrelated, worker-count-independent fault stream. The default
+/// (inactive) plan takes the exact legacy path — statistics are
+/// bit-identical to a replay without the fault layer. Paper-model schemes
+/// have no device and ignore the plan.
 [[nodiscard]] ReplayResult replay_scheme(const WritebackTrace& trace,
                                          Scheme scheme,
-                                         const EnergyParams& energy = {});
+                                         const EnergyParams& energy = {},
+                                         const FaultPlan& fault = {},
+                                         u64 fault_seed_salt = 0);
 
 }  // namespace nvmenc

@@ -150,6 +150,17 @@ const WorkloadProfile& profile_by_name(const std::string& name) {
   for (const WorkloadProfile& p : spec2006_profiles()) {
     if (p.name == name) return p;
   }
+  if (name == "__throw__") {
+    // Deliberate failure source (see the header): a plausible profile that
+    // detonates when the runner builds its workload.
+    static const WorkloadProfile poisoned = [] {
+      WorkloadProfile p = uniform_profile(1024);
+      p.name = "__throw__";
+      p.poison = true;
+      return p;
+    }();
+    return poisoned;
+  }
   throw std::invalid_argument("unknown workload profile: " + name);
 }
 

@@ -47,6 +47,12 @@ struct WorkloadProfile {
   /// frequent-value bias of the benchmark's data segment).
   double zero_word_bias = 0.3;
 
+  /// Test hook: a poisoned profile validates but throws on workload
+  /// construction. Exercises the runner's graceful degradation (one matrix
+  /// cell failing must not sink the others). See profile_by_name's hidden
+  /// "__throw__" profile.
+  bool poison = false;
+
   void validate() const;
 
   /// Expected number of truly-modified words per episode.
@@ -59,6 +65,10 @@ struct WorkloadProfile {
 [[nodiscard]] const std::vector<WorkloadProfile>& spec2006_profiles();
 
 /// Looks a profile up by name; throws std::invalid_argument if unknown.
+/// The hidden name "__throw__" (not part of spec2006_profiles) returns a
+/// poisoned profile whose workload construction throws — a deliberate
+/// failure source for exercising the matrix's graceful degradation from
+/// tests and the CLI.
 [[nodiscard]] const WorkloadProfile& profile_by_name(const std::string& name);
 
 /// Fully random workload: uniform values, all words dirty. Matches the

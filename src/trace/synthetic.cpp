@@ -15,6 +15,8 @@ constexpr u64 kBaseAddr = u64{1} << 30;
 SyntheticWorkload::SyntheticWorkload(WorkloadProfile profile, u64 seed)
     : profile_{std::move(profile)}, seed_{seed}, rng_{seed} {
   profile_.validate();
+  require(!profile_.poison,
+          "poisoned workload profile (deliberate test failure)");
   pmf_cdf_.reserve(profile_.dirty_word_pmf.size());
   double acc = 0.0;
   for (double p : profile_.dirty_word_pmf) {

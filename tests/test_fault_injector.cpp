@@ -1,0 +1,139 @@
+#include "fault/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace nvmenc {
+namespace {
+
+StoredLine zero_image(usize meta_bits = 16) {
+  StoredLine s;
+  s.meta = BitBuf{meta_bits};
+  return s;
+}
+
+StoredLine random_image(Xoshiro256& rng, usize meta_bits = 16) {
+  StoredLine s;
+  for (usize w = 0; w < kWordsPerLine; ++w) s.data.set_word(w, rng.next());
+  s.meta = BitBuf{meta_bits};
+  for (usize i = 0; i < meta_bits; ++i) s.meta.set_bit(i, rng.next_bool(0.5));
+  return s;
+}
+
+TEST(FaultInjector, RejectsRatesOutsideUnitInterval) {
+  EXPECT_THROW(FaultInjector{FaultInjectorConfig{.write_fail_rate = -0.1}},
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector{FaultInjectorConfig{.write_fail_rate = 1.5}},
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector{FaultInjectorConfig{.read_disturb_rate = 2.0}},
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector{FaultInjectorConfig{.stuck_rate = -1.0}},
+               std::invalid_argument);
+  EXPECT_NO_THROW(FaultInjector{FaultInjectorConfig{.write_fail_rate = 1.0}});
+}
+
+TEST(FaultInjector, ZeroRatesAreInert) {
+  FaultInjector injector{FaultInjectorConfig{}};
+  EXPECT_FALSE(injector.enabled());
+  Xoshiro256 rng{1};
+  const StoredLine prev = zero_image();
+  const StoredLine next = random_image(rng);
+  const WriteFaults faults = injector.on_store(0x40, 0, prev, next);
+  EXPECT_TRUE(faults.failed_cells.empty());
+  EXPECT_TRUE(faults.new_stuck_cells.empty());
+  EXPECT_FALSE(injector.on_load(0x40, 0, kLineBits).has_value());
+  EXPECT_EQ(injector.transient_faults(), 0u);
+  EXPECT_EQ(injector.read_disturbs(), 0u);
+}
+
+TEST(FaultInjector, CertainFailureHitsEveryProgrammedCell) {
+  FaultInjector injector{FaultInjectorConfig{.write_fail_rate = 1.0}};
+  StoredLine prev = zero_image(4);
+  StoredLine next = zero_image(4);
+  next.data.set_bit(3, true);
+  next.data.set_bit(200, true);
+  next.meta.set_bit(1, true);
+  const WriteFaults faults = injector.on_store(0x40, 0, prev, next);
+  // Only the three changed cells receive pulses; all of them fail. Meta
+  // cell 1 reports as combined index kLineBits + 1.
+  EXPECT_EQ(faults.failed_cells,
+            (std::vector<usize>{3, 200, kLineBits + 1}));
+  EXPECT_EQ(injector.transient_faults(), 3u);
+}
+
+TEST(FaultInjector, DrawsAreKeyedByLineAndSequenceNotCallOrder) {
+  // The acceptance property behind --jobs determinism: the faults of
+  // (line, seq) must not depend on what other lines did in between.
+  const FaultInjectorConfig config{
+      .write_fail_rate = 0.3, .read_disturb_rate = 0.2, .stuck_rate = 0.1,
+      .seed = 99};
+  Xoshiro256 rng{2};
+  const StoredLine prev = zero_image();
+  const StoredLine next = random_image(rng);
+  const StoredLine other = random_image(rng);
+
+  FaultInjector lone{config};
+  const WriteFaults a0 = lone.on_store(0xA0, 0, prev, next);
+  const WriteFaults a1 = lone.on_store(0xA0, 1, next, prev);
+  const auto ld = lone.on_load(0xA0, 0, kLineBits + 16);
+
+  FaultInjector busy{config};
+  (void)busy.on_store(0xB0, 0, prev, other);
+  (void)busy.on_load(0xC0, 7, kLineBits);
+  const WriteFaults b0 = busy.on_store(0xA0, 0, prev, next);
+  (void)busy.on_store(0xB0, 1, other, prev);
+  const WriteFaults b1 = busy.on_store(0xA0, 1, next, prev);
+  const auto ld2 = busy.on_load(0xA0, 0, kLineBits + 16);
+
+  EXPECT_EQ(a0.failed_cells, b0.failed_cells);
+  EXPECT_EQ(a0.new_stuck_cells, b0.new_stuck_cells);
+  EXPECT_EQ(a1.failed_cells, b1.failed_cells);
+  EXPECT_EQ(a1.new_stuck_cells, b1.new_stuck_cells);
+  EXPECT_EQ(ld, ld2);
+}
+
+TEST(FaultInjector, DistinctSeedsDecorrelate) {
+  Xoshiro256 rng{3};
+  const StoredLine prev = zero_image();
+  const StoredLine next = random_image(rng);
+  FaultInjectorConfig config{.write_fail_rate = 0.5};
+  config.seed = 1;
+  FaultInjector first{config};
+  config.seed = 2;
+  FaultInjector second{config};
+  const WriteFaults a = first.on_store(0x40, 0, prev, next);
+  const WriteFaults b = second.on_store(0x40, 0, prev, next);
+  EXPECT_NE(a.failed_cells, b.failed_cells);
+}
+
+TEST(FaultInjector, StuckCellsComeFromDataRegionOnly) {
+  FaultInjector injector{FaultInjectorConfig{.stuck_rate = 1.0}};
+  StoredLine prev = zero_image(4);
+  StoredLine next = zero_image(4);
+  next.data.set_bit(10, true);
+  next.meta.set_bit(2, true);
+  const WriteFaults faults = injector.on_store(0x40, 0, prev, next);
+  // Every programmed data cell sticks; metadata cells never do (hard
+  // faults in the metadata region would be invisible to SAFER).
+  EXPECT_EQ(faults.new_stuck_cells, std::vector<usize>{10});
+  EXPECT_EQ(injector.hard_faults(), 1u);
+}
+
+TEST(FaultInjector, ReadDisturbRateObserved) {
+  FaultInjector injector{FaultInjectorConfig{.read_disturb_rate = 0.25}};
+  usize disturbed = 0;
+  const usize trials = 4000;
+  for (usize i = 0; i < trials; ++i) {
+    const auto cell = injector.on_load(0x40, i, kLineBits);
+    if (cell.has_value()) {
+      ++disturbed;
+      EXPECT_LT(*cell, kLineBits);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(disturbed) / trials, 0.25, 0.03);
+  EXPECT_EQ(injector.read_disturbs(), disturbed);
+}
+
+}  // namespace
+}  // namespace nvmenc

@@ -89,6 +89,38 @@ TEST(Recovery, ReportsUnrecoverablePatterns) {
   EXPECT_EQ(store.unrecoverable_lines(), 1u);
 }
 
+TEST(Recovery, DefaultCodecExhaustionCountsUnrecoverable) {
+  // The hub pattern of test_safer.cpp (cell 0 needs inversion, every cell
+  // 2^b forbids it) defeats the full SAFER-32 codec, not just degenerate
+  // configurations: store() must refuse and count the line unrecoverable.
+  Rig rig;
+  rig.store.report_fault(0x40, 0, false);
+  for (usize b = 0; b < 9; ++b) {
+    rig.store.report_fault(0x40, usize{1} << b, false);
+  }
+  CacheLine line;
+  line.set_bit(0, true);
+  EXPECT_FALSE(rig.store.store(0x40, image_of(line), 1));
+  EXPECT_EQ(rig.store.unrecoverable_lines(), 1u);
+  // A write the stuck cells agree with still lands.
+  EXPECT_TRUE(rig.store.store(0x40, image_of(CacheLine{}), 1));
+}
+
+TEST(Recovery, StripAndEncodingOfExposeActiveEncoding) {
+  Rig rig;
+  EXPECT_EQ(rig.store.encoding_of(0x40), nullptr);
+  rig.store.report_fault(0x40, 100, false);
+  CacheLine line;
+  line.set_bit(100, true);
+  ASSERT_TRUE(rig.store.store(0x40, image_of(line), 1));
+  ASSERT_NE(rig.store.encoding_of(0x40), nullptr);
+  const CacheLine raw = rig.device.load(0x40).data;
+  EXPECT_NE(raw, line);  // some group is inverted
+  EXPECT_EQ(rig.store.strip(0x40, raw), line);
+  // strip is an involution: stripping the logical view re-creates raw.
+  EXPECT_EQ(rig.store.strip(0x40, line), raw);
+}
+
 TEST(Recovery, DuplicateFaultReportsIgnored) {
   Rig rig;
   rig.store.report_fault(0x40, 9, true);

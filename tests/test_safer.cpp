@@ -125,6 +125,25 @@ TEST(Safer, UnsolvableWhenGroupsExhausted) {
   EXPECT_TRUE(SaferCodec{5}.solve(faults, data).has_value());
 }
 
+TEST(Safer, ConflictingHubPatternDefeatsEveryMaskChoice) {
+  // Cell 0 stuck at 0 with data 1 (its group must invert) plus every cell
+  // 2^b (b = 0..8) stuck at 0 with data 0 (its group must not invert). A
+  // mask m groups cells i and j together iff (i ^ j) & m == 0, so any
+  // selection of k < 9 index bits leaves some b outside the mask with
+  // (0 ^ 2^b) & m == 0: that cell lands in cell 0's group and the needs
+  // conflict. Exhaustion is thus independent of the group count — only
+  // the full 9-bit selection (every cell its own group) separates them.
+  CacheLine data;
+  data.set_bit(0, true);
+  std::vector<StuckCell> faults{{0, false}};
+  for (usize b = 0; b < 9; ++b) faults.push_back({usize{1} << b, false});
+  for (usize k = 1; k <= 8; ++k) {
+    EXPECT_FALSE(SaferCodec{k}.solve(faults, data).has_value())
+        << "group_bits=" << k;
+  }
+  EXPECT_TRUE(SaferCodec{9}.solve(faults, data).has_value());
+}
+
 TEST(Safer, LifetimeExtensionScenario) {
   // A line accumulates faults one by one; SAFER keeps it usable until the
   // solver fails. Count how many faults a random line survives.

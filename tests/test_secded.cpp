@@ -1,0 +1,135 @@
+#include "fault/secded.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace nvmenc {
+namespace {
+
+TEST(Secded, CleanRoundTrip) {
+  Xoshiro256 rng{1};
+  for (int t = 0; t < 200; ++t) {
+    const u64 data = rng.next();
+    const u8 check = secded_encode(data);
+    const SecdedDecode d = secded_decode(data, check);
+    EXPECT_EQ(d.status, SecdedStatus::kClean);
+    EXPECT_EQ(d.data, data);
+  }
+}
+
+TEST(Secded, EverySingleDataBitFlipCorrected) {
+  Xoshiro256 rng{2};
+  const u64 data = rng.next();
+  const u8 check = secded_encode(data);
+  for (usize bit = 0; bit < 64; ++bit) {
+    const SecdedDecode d = secded_decode(data ^ (u64{1} << bit), check);
+    EXPECT_EQ(d.status, SecdedStatus::kCorrected) << "bit " << bit;
+    EXPECT_EQ(d.data, data) << "bit " << bit;
+  }
+}
+
+TEST(Secded, EverySingleCheckBitFlipCorrected) {
+  Xoshiro256 rng{3};
+  const u64 data = rng.next();
+  const u8 check = secded_encode(data);
+  for (usize bit = 0; bit < 8; ++bit) {
+    const SecdedDecode d =
+        secded_decode(data, static_cast<u8>(check ^ (1u << bit)));
+    EXPECT_EQ(d.status, SecdedStatus::kCorrected) << "check bit " << bit;
+    EXPECT_EQ(d.data, data) << "check bit " << bit;
+  }
+}
+
+TEST(Secded, DoubleFlipsDetectedNotMiscorrected) {
+  Xoshiro256 rng{4};
+  const u64 data = rng.next();
+  const u8 check = secded_encode(data);
+  // data+data, data+check and check+check double flips all land in the
+  // uncorrectable verdict (extended-Hamming SECDED guarantee).
+  for (int t = 0; t < 100; ++t) {
+    const usize a = static_cast<usize>(rng.next_below(64));
+    usize b = static_cast<usize>(rng.next_below(64));
+    if (a == b) b = (b + 1) % 64;
+    const u64 corrupted = data ^ (u64{1} << a) ^ (u64{1} << b);
+    EXPECT_EQ(secded_decode(corrupted, check).status,
+              SecdedStatus::kUncorrectable)
+        << a << "," << b;
+  }
+  for (usize a = 0; a < 64; ++a) {
+    const SecdedDecode d = secded_decode(data ^ (u64{1} << a),
+                                         static_cast<u8>(check ^ 1u));
+    EXPECT_EQ(d.status, SecdedStatus::kUncorrectable) << a;
+  }
+  EXPECT_EQ(secded_decode(data, static_cast<u8>(check ^ 0b101u)).status,
+            SecdedStatus::kUncorrectable);
+}
+
+TEST(Secded, CheckBitsPerChunk) {
+  EXPECT_EQ(secded_check_bits(0), 0u);
+  EXPECT_EQ(secded_check_bits(1), 8u);
+  EXPECT_EQ(secded_check_bits(64), 8u);
+  EXPECT_EQ(secded_check_bits(65), 16u);
+  EXPECT_EQ(secded_check_bits(130), 24u);
+}
+
+BitBuf random_payload(usize bits, Xoshiro256& rng) {
+  BitBuf buf{bits};
+  for (usize i = 0; i < bits; ++i) buf.set_bit(i, rng.next_bool(0.5));
+  return buf;
+}
+
+TEST(Secded, ProtectUnprotectRoundTrip) {
+  Xoshiro256 rng{5};
+  for (const usize bits : {usize{1}, usize{20}, usize{64}, usize{100},
+                           usize{128}, usize{139}}) {
+    const BitBuf payload = random_payload(bits, rng);
+    const BitBuf stored = secded_protect(payload);
+    ASSERT_EQ(stored.size(), bits + secded_check_bits(bits));
+    const SecdedMetaDecode d = secded_unprotect(stored, bits);
+    EXPECT_EQ(d.corrected, 0u);
+    EXPECT_EQ(d.uncorrectable, 0u);
+    ASSERT_EQ(d.payload.size(), bits);
+    for (usize i = 0; i < bits; ++i) {
+      EXPECT_EQ(d.payload.bit(i), payload.bit(i)) << i;
+    }
+  }
+}
+
+TEST(Secded, ProtectedRegionCorrectsAnySinglePerChunkFlip) {
+  Xoshiro256 rng{6};
+  const usize bits = 100;  // two chunks, second partial
+  const BitBuf payload = random_payload(bits, rng);
+  const BitBuf stored = secded_protect(payload);
+  for (usize flip = 0; flip < stored.size(); ++flip) {
+    BitBuf corrupted = stored;
+    corrupted.set_bit(flip, !corrupted.bit(flip));
+    const SecdedMetaDecode d = secded_unprotect(corrupted, bits);
+    EXPECT_EQ(d.corrected, 1u) << "flip " << flip;
+    EXPECT_EQ(d.uncorrectable, 0u) << "flip " << flip;
+    for (usize i = 0; i < bits; ++i) {
+      ASSERT_EQ(d.payload.bit(i), payload.bit(i))
+          << "flip " << flip << " payload bit " << i;
+    }
+  }
+}
+
+TEST(Secded, ProtectedRegionFlagsDoubleFlips) {
+  Xoshiro256 rng{7};
+  const usize bits = 64;
+  const BitBuf payload = random_payload(bits, rng);
+  BitBuf corrupted = secded_protect(payload);
+  corrupted.set_bit(3, !corrupted.bit(3));
+  corrupted.set_bit(40, !corrupted.bit(40));
+  const SecdedMetaDecode d = secded_unprotect(corrupted, bits);
+  EXPECT_EQ(d.corrected, 0u);
+  EXPECT_EQ(d.uncorrectable, 1u);
+}
+
+TEST(Secded, UnprotectValidatesWidth) {
+  const BitBuf stored{70};  // not 64 + 8
+  EXPECT_THROW((void)secded_unprotect(stored, 64), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nvmenc

@@ -48,6 +48,13 @@ struct Args {
   usize jobs = 0;  // 0 = one worker per hardware context
   double encode_ns = 3.47;
   bool sched = false;
+  // Fault-injection / resilience knobs (matrix).
+  double fault_rate = 0.0;
+  double read_disturb = 0.0;
+  double stuck_rate = 0.0;
+  usize retry_limit = 3;
+  bool protect_meta = false;
+  u64 fault_seed = 1;
 };
 
 [[noreturn]] void usage() {
@@ -57,6 +64,10 @@ struct Args {
       "  matrix: [--benchmarks=a,b] [--schemes=x,y] [--csv=dir] [--jobs=N]\n"
       "          (--jobs=0, the default, uses every hardware thread;\n"
       "           --jobs=1 runs serially; results are identical either way)\n"
+      "          fault injection: [--fault-rate=P] [--read-disturb=P]\n"
+      "          [--stuck-rate=P] [--retry-limit=N] [--protect-meta]\n"
+      "          [--fault-seed=S]  (any non-zero rate turns the write path\n"
+      "          into program-and-verify with SAFER/retirement escalation)\n"
       "  trace:  --benchmark=NAME --out=FILE [--accesses=N] [--seed=S]\n"
       "          [--format=bin|text]\n"
       "  replay: --in=FILE --scheme=NAME [--format=bin|text]\n"
@@ -88,6 +99,14 @@ Args parse(int argc, char** argv) {
     else if (auto v8 = value("seed")) args.seed = std::stoull(*v8);
     else if (auto v8b = value("jobs")) args.jobs = std::stoull(*v8b);
     else if (auto v9 = value("encode-ns")) args.encode_ns = std::stod(*v9);
+    else if (auto va = value("fault-rate")) args.fault_rate = std::stod(*va);
+    else if (auto vb = value("read-disturb"))
+      args.read_disturb = std::stod(*vb);
+    else if (auto vc = value("stuck-rate")) args.stuck_rate = std::stod(*vc);
+    else if (auto vd = value("retry-limit"))
+      args.retry_limit = std::stoull(*vd);
+    else if (auto ve = value("fault-seed")) args.fault_seed = std::stoull(*ve);
+    else if (arg == "--protect-meta") args.protect_meta = true;
     else if (arg == "--sched") args.sched = true;
     else usage();
   }
@@ -184,6 +203,12 @@ int cmd_matrix(const Args& args) {
   cfg.seed = args.seed;
   cfg.collector.measured_accesses = args.accesses;
   cfg.jobs = args.jobs;
+  cfg.fault.inject.write_fail_rate = args.fault_rate;
+  cfg.fault.inject.read_disturb_rate = args.read_disturb;
+  cfg.fault.inject.stuck_rate = args.stuck_rate;
+  cfg.fault.inject.seed = args.fault_seed;
+  cfg.fault.retry_limit = args.retry_limit;
+  cfg.fault.protect_meta = args.protect_meta;
   const auto matrix_start = std::chrono::steady_clock::now();
   const ExperimentMatrix m =
       run_experiment(profiles, schemes, cfg, &std::cout);
@@ -198,6 +223,33 @@ int cmd_matrix(const Args& args) {
   std::cout << "\nenergy normalized to DCW:\n";
   const TextTable energy = m.normalized_table(metric_energy(), Scheme::kDcw);
   energy.print(std::cout);
+  if (cfg.fault.active()) {
+    // Per-scheme resilience totals across the healthy cells.
+    TextTable res{{"scheme", "verified", "retries", "remaps", "retired",
+                   "sdc", "meta fixed"}};
+    for (usize s = 0; s < m.schemes().size(); ++s) {
+      ResilienceStats sum;
+      for (usize b = 0; b < m.benchmarks().size(); ++b) {
+        if (!m.cell_ok(b, s)) continue;
+        const ResilienceStats& r = m.at(b, s).stats.resilience;
+        sum.verified_writes += r.verified_writes;
+        sum.write_retries += r.write_retries;
+        sum.safer_remaps += r.safer_remaps;
+        sum.line_retirements += r.line_retirements;
+        sum.sdc_detected += r.sdc_detected;
+        sum.meta_corrected += r.meta_corrected;
+      }
+      res.add_row({scheme_name(m.schemes()[s]),
+                   std::to_string(sum.verified_writes),
+                   std::to_string(sum.write_retries),
+                   std::to_string(sum.safer_remaps),
+                   std::to_string(sum.line_retirements),
+                   std::to_string(sum.sdc_detected),
+                   std::to_string(sum.meta_corrected)});
+    }
+    std::cout << "\nresilience totals (program-and-verify):\n";
+    res.print(std::cout);
+  }
   if (!args.csv_dir.empty()) {
     flips.write_csv_file(args.csv_dir + "/matrix_flips.csv");
     energy.write_csv_file(args.csv_dir + "/matrix_energy.csv");
@@ -205,6 +257,20 @@ int cmd_matrix(const Args& args) {
   }
   std::cout << "\nmatrix wall-clock: " << TextTable::fmt(matrix_secs, 2)
             << " s (jobs=" << resolve_jobs(args.jobs) << ")\n";
+  // Graceful degradation: failed cells are reported but only an
+  // all-cells-failed matrix is an error exit.
+  const usize failed = m.failed_cells();
+  if (failed > 0) {
+    const ReplayResult* first = m.first_failure();
+    std::cout << "matrix cells failed: " << failed << "/" << m.total_cells()
+              << " (first: " << first->benchmark << "/" << first->scheme
+              << " " << first->error->phase << ": " << first->error->message
+              << ")\n";
+  }
+  if (failed == m.total_cells() && m.total_cells() > 0) {
+    std::cerr << "error: every matrix cell failed\n";
+    return 1;
+  }
   return 0;
 }
 
