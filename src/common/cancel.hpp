@@ -1,0 +1,44 @@
+// Cooperative cancellation for long-running work.
+//
+// A CancellationToken is a single sticky flag: anything may request a stop
+// (a SIGINT handler, a watchdog, a test) and workers poll it at safe
+// boundaries — the experiment runner checks before starting a matrix cell
+// and the replay loop checks between write-backs, so an in-flight cell
+// stops at the next access boundary instead of running the remaining
+// matrix to completion. `request_stop` is a lock-free atomic store, which
+// makes it safe to call from a signal handler.
+//
+// Cancellation is reported by throwing CancelledRun. It deliberately does
+// NOT derive from std::exception: the matrix's graceful-degradation
+// handlers convert std::exception into per-cell CellError records, and a
+// user interrupt must not be misfiled as a cell failure.
+#pragma once
+
+#include <atomic>
+
+namespace nvmenc {
+
+class CancellationToken {
+ public:
+  /// Requests a stop. Sticky, idempotent, async-signal-safe (lock-free
+  /// atomic store; no locks, no allocation).
+  void request_stop() noexcept {
+    stop_.store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+};
+
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "CancellationToken::request_stop must be signal-safe");
+
+/// Thrown when a cancellation token fires mid-task. Intentionally not a
+/// std::exception (see the header comment).
+struct CancelledRun {};
+
+}  // namespace nvmenc

@@ -1,0 +1,59 @@
+// FNV-1a 64-bit checksumming.
+//
+// Two consumers need a cheap, dependency-free integrity hash: the commit
+// record of the controller's atomic-write protocol (a torn commit marker
+// must be distinguishable from a complete one, src/nvm/controller.cpp) and
+// the matrix checkpoint file (a record whose tail was lost to a crash must
+// be discarded on resume, src/sim/checkpoint.cpp). FNV-1a is not
+// cryptographic — both users only defend against *accidental* truncation
+// and bit corruption, where a 64-bit avalanche hash is ample.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace nvmenc {
+
+inline constexpr u64 kFnv64Offset = 14695981039346656037ull;
+inline constexpr u64 kFnv64Prime = 1099511628211ull;
+
+/// Incremental FNV-1a accumulator. Feed values, read `value()`.
+class Fnv64 {
+ public:
+  constexpr Fnv64& add_byte(u8 byte) noexcept {
+    hash_ = (hash_ ^ byte) * kFnv64Prime;
+    return *this;
+  }
+
+  /// Mixes the 8 bytes of `word` in little-endian order.
+  constexpr Fnv64& add_u64(u64 word) noexcept {
+    for (usize i = 0; i < 8; ++i) {
+      add_byte(static_cast<u8>(word >> (8 * i)));
+    }
+    return *this;
+  }
+
+  constexpr Fnv64& add_bytes(std::string_view bytes) noexcept {
+    for (const char c : bytes) add_byte(static_cast<u8>(c));
+    return *this;
+  }
+
+  constexpr Fnv64& add_words(std::span<const u64> words) noexcept {
+    for (const u64 w : words) add_u64(w);
+    return *this;
+  }
+
+  [[nodiscard]] constexpr u64 value() const noexcept { return hash_; }
+
+ private:
+  u64 hash_ = kFnv64Offset;
+};
+
+/// One-shot hash of a byte string.
+[[nodiscard]] constexpr u64 fnv64(std::string_view bytes) noexcept {
+  return Fnv64{}.add_bytes(bytes).value();
+}
+
+}  // namespace nvmenc

@@ -107,10 +107,14 @@ struct FaultPlan {
   /// Run program-and-verify even with every rate zero: baseline costing
   /// (the verify reads are then the only overhead) and differential tests.
   bool force_verify = false;
+  /// Power-failure atomicity: run every write-back through the redo-log
+  /// commit protocol (VerifyConfig::atomic_writes) so a power cut at any
+  /// pulse boundary recovers to the full old or full new line image.
+  bool atomic_writes = false;
 
   /// Resilience machinery active? Off => controllers take the legacy path.
   [[nodiscard]] bool active() const noexcept {
-    return inject.any() || protect_meta || force_verify;
+    return inject.any() || protect_meta || force_verify || atomic_writes;
   }
 };
 

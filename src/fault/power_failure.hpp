@@ -1,0 +1,88 @@
+// PowerFailurePlan: deterministic torn-write (power-cut) injection.
+//
+// NVM is persistent main memory, so the canonical failure its encodings
+// must survive is losing power mid-write. A line store programs its
+// changed cells as a sequence of pulses — changed data cells in ascending
+// position order, then changed metadata cells — and a power cut lands
+// between two pulses: the cells already pulsed hold their new value, every
+// later cell holds its old value, and whatever the encoder's metadata
+// claimed about the line (READ tags, SAE granularity flags, SECDED check
+// cells) may describe neither image. The plan models exactly that: it
+// grants program pulses from a global budget, and the store whose pulses
+// exhaust the budget is applied only up to the cut point; NvmDevice then
+// throws PowerLossError, unwinding the controller the way a real power
+// cut halts the memory system.
+//
+// The budget is counted in pulses across the device's whole lifetime, so
+// a test can calibrate (run once with no cut, read `pulses_seen`) and
+// then sweep every cut point 0..N exhaustively — the basis of the
+// old-or-new atomicity proof in tests/test_power_failure.cpp. After the
+// plan trips it disarms itself: the post-crash recovery pass runs against
+// the same device with full power.
+#pragma once
+
+#include <stdexcept>
+
+#include "common/types.hpp"
+
+namespace nvmenc {
+
+/// Thrown by NvmDevice::store at the cut point. The partial image is
+/// already committed to the array when this is thrown — exactly the state
+/// a recovery scan finds after the machine restarts.
+class PowerLossError : public std::runtime_error {
+ public:
+  PowerLossError(u64 line_addr, usize pulses_applied)
+      : std::runtime_error{"power failure: line store torn mid-programming"},
+        line_addr_{line_addr},
+        pulses_applied_{pulses_applied} {}
+
+  /// The line whose store was torn.
+  [[nodiscard]] u64 line_addr() const noexcept { return line_addr_; }
+  /// Pulses of the torn store that landed before the cut.
+  [[nodiscard]] usize pulses_applied() const noexcept {
+    return pulses_applied_;
+  }
+
+ private:
+  u64 line_addr_;
+  usize pulses_applied_;
+};
+
+struct PowerFailurePlan {
+  static constexpr u64 kNever = ~u64{0};
+
+  /// The power dies immediately after this many program pulses have been
+  /// granted device-wide; kNever only counts (calibration mode).
+  u64 cut_after_pulses = kNever;
+  /// Pulses granted so far (monotonic; also advanced in calibration mode).
+  u64 pulses_seen = 0;
+  /// Set once the cut has fired; subsequent stores run at full power (the
+  /// machine has been restarted and is recovering).
+  bool tripped = false;
+
+  [[nodiscard]] bool armed() const noexcept {
+    return cut_after_pulses != kNever && !tripped;
+  }
+
+  /// Grants up to `want` pulses for one store; a smaller return means the
+  /// power dies after that many pulses and the plan trips. A store whose
+  /// pulses end exactly on the budget completes — the cut then falls on
+  /// the following store boundary.
+  [[nodiscard]] usize grant(usize want) noexcept {
+    if (!armed()) {
+      pulses_seen += want;
+      return want;
+    }
+    const u64 left = cut_after_pulses - pulses_seen;
+    if (want <= left) {
+      pulses_seen += want;
+      return want;
+    }
+    pulses_seen = cut_after_pulses;
+    tripped = true;
+    return static_cast<usize>(left);
+  }
+};
+
+}  // namespace nvmenc

@@ -36,6 +36,13 @@ class WearLeveler;  // src/wear — observes (line, flips) write events
 /// them sequentially.
 inline constexpr u64 kSpareRegionBase = u64{1} << 62;
 
+/// The atomic-write redo log lives in its own region, below the spares and
+/// far above any workload address: one line holding a copy of the image
+/// being written and one line holding the commit record.
+inline constexpr u64 kLogRegionBase = u64{1} << 61;
+inline constexpr u64 kLogImageAddr = kLogRegionBase;
+inline constexpr u64 kLogRecordAddr = kLogRegionBase + kLineBytes;
+
 /// The controller's response policy to misbehaving cells.
 struct VerifyConfig {
   /// Program-and-verify: read back every store and re-pulse failed cells.
@@ -46,9 +53,16 @@ struct VerifyConfig {
   /// Protect the per-line metadata region with SECDED(72,64) check cells
   /// (src/fault/secded.hpp): single meta-cell flips are corrected on read.
   bool protect_meta = false;
+  /// Power-failure atomicity: every write-back runs the commit protocol
+  /// log-image -> commit-record -> home-line -> clear, so a power cut at
+  /// any pulse boundary recovers (via recover()) to the full old or full
+  /// new line image — never a hybrid. Costs one logged copy of the image
+  /// plus a commit record per write (priced into the energy ledger and
+  /// counted in ResilienceStats::atomic_log_flips).
+  bool atomic_writes = false;
 
   [[nodiscard]] bool active() const noexcept {
-    return program_and_verify || protect_meta;
+    return program_and_verify || protect_meta || atomic_writes;
   }
 };
 
@@ -71,6 +85,15 @@ struct ResilienceStats {
   u64 meta_corrected = 0;     ///< SECDED single-flip corrections
   u64 meta_uncorrectable = 0; ///< SECDED double-flip detections
   u64 check_flips = 0;        ///< SECDED check-cell writes (capacity cost)
+  u64 atomic_log_flips = 0;   ///< redo-log cell writes (atomicity cost)
+
+  // Counters of the post-crash recovery scan (recover()).
+  u64 recovery_scans = 0;     ///< recover() invocations
+  u64 recovered_clean = 0;    ///< lines the scan found intact
+  u64 rolled_forward = 0;     ///< committed redo-log replayed onto home
+  u64 rolled_back = 0;        ///< torn uncommitted write discarded
+  u64 recovery_retired = 0;   ///< lines retired by the scan (SECDED double
+                              ///< error with no committed log to replay)
 
   [[nodiscard]] u64 escalations() const noexcept {
     return safer_remaps + line_retirements;
@@ -122,6 +145,25 @@ class MemoryController final : public LineBackend {
   [[nodiscard]] CacheLine read_line(u64 line_addr) override;
   void write_line(u64 line_addr, const CacheLine& data) override;
 
+  /// Post-crash recovery scan. Classifies every stored line as clean /
+  /// roll-forward / roll-back (counters in ResilienceStats):
+  ///
+  ///   - a valid commit record means the redo log holds a complete new
+  ///     image whose home store may be torn — it is replayed onto the
+  ///     home line (roll-forward), then the record is cleared;
+  ///   - an invalid (garbage or partially programmed) record means the
+  ///     log write itself was torn, so the home line still holds the full
+  ///     old image and nothing needs repair (roll-back);
+  ///   - under protect_meta, every other line's SECDED syndrome is
+  ///     checked: single flips are corrected and scrubbed back, a double
+  ///     error with no committed log covering the line escalates — the
+  ///     line is retired with its best-effort decode, never silently
+  ///     "corrected".
+  ///
+  /// Idempotent: a scan interrupted by another power cut can simply run
+  /// again. Requires an active VerifyConfig.
+  void recover();
+
   [[nodiscard]] const ControllerStats& stats() const noexcept {
     return stats_;
   }
@@ -151,6 +193,17 @@ class MemoryController final : public LineBackend {
                 const StoredLine& readback);
   /// Moves the line to a fresh spare and updates the remap table.
   void retire(u64 logical, const StoredLine& image);
+  /// Differential store of `want` at `addr` for the atomic-write protocol:
+  /// prices the changed cells into the energy ledger and the
+  /// atomic_log_flips counter, returns the flip count.
+  usize program_log(u64 addr, const StoredLine& want);
+  /// Phases 1+2 of the commit protocol: log the raw image, then program a
+  /// checksummed commit record naming the *logical* line `target` (so
+  /// recovery re-resolves through the remap table and lands on the right
+  /// physical line even if the write retired mid-flight).
+  void log_begin(u64 target, const StoredLine& raw);
+  /// Phase 4: invalidate the commit record (all-zero data cells).
+  void log_clear();
 
   ControllerConfig config_;
   EncoderPtr encoder_;

@@ -62,9 +62,67 @@ const StoredLine& NvmDevice::load(u64 line_addr) {
   return st.image;
 }
 
+namespace {
+
+/// The image a power cut after `granted` pulses leaves behind: pulses
+/// program the changed data cells in ascending position order, then the
+/// changed metadata cells. `old_image` metadata narrower than the target
+/// width reads as pristine zeros (cells exist physically, unmodelled so
+/// far); positions past the target width are never pulsed.
+StoredLine torn_image(const StoredLine& old_image, const StoredLine& want,
+                      usize granted) {
+  StoredLine torn;
+  torn.data = old_image.data;
+  torn.meta = BitBuf{want.meta.size()};
+  for (usize i = 0; i < torn.meta.size() && i < old_image.meta.size(); ++i) {
+    torn.meta.set_bit(i, old_image.meta.bit(i));
+  }
+  usize applied = 0;
+  for (usize bit = 0; bit < kLineBits && applied < granted; ++bit) {
+    if (torn.data.bit(bit) != want.data.bit(bit)) {
+      torn.data.set_bit(bit, want.data.bit(bit));
+      ++applied;
+    }
+  }
+  for (usize i = 0; i < torn.meta.size() && applied < granted; ++i) {
+    if (torn.meta.bit(i) != want.meta.bit(i)) {
+      torn.meta.set_bit(i, want.meta.bit(i));
+      ++applied;
+    }
+  }
+  return torn;
+}
+
+/// Program pulses a store from `old_image` to `want` issues (changed data
+/// cells plus changed metadata cells up to `want`'s width).
+usize store_pulses(const StoredLine& old_image, const StoredLine& want) {
+  usize pulses = old_image.data.hamming(want.data);
+  for (usize i = 0; i < want.meta.size(); ++i) {
+    const bool before =
+        i < old_image.meta.size() ? old_image.meta.bit(i) : false;
+    if (before != want.meta.bit(i)) ++pulses;
+  }
+  return pulses;
+}
+
+}  // namespace
+
 void NvmDevice::store(u64 line_addr, const StoredLine& image, usize flips) {
   LineState& st = state(line_addr);
+  if (config_.power != nullptr) {
+    const usize pulses = store_pulses(st.image, image);
+    const usize granted = config_.power->grant(pulses);
+    if (granted < pulses) {
+      apply_store(st, line_addr, torn_image(st.image, image, granted),
+                  granted);
+      throw PowerLossError{line_addr, granted};
+    }
+  }
+  apply_store(st, line_addr, image, flips);
+}
 
+void NvmDevice::apply_store(LineState& st, u64 line_addr,
+                            const StoredLine& image, usize flips) {
   // Cells that were already stuck before this write drop the update; a
   // write that *reaches* the endurance limit still completes (the cell
   // endures N flips, then fails).
@@ -124,6 +182,14 @@ void NvmDevice::store(u64 line_addr, const StoredLine& image, usize flips) {
   ++st.wear.writes;
   total_flips_ += flips;
   ++total_writes_;
+}
+
+std::vector<u64> NvmDevice::line_addrs() const {
+  std::vector<u64> addrs;
+  addrs.reserve(lines_.size());
+  for (const auto& [addr, st] : lines_) addrs.push_back(addr);
+  std::sort(addrs.begin(), addrs.end());
+  return addrs;
 }
 
 const LineWear* NvmDevice::wear(u64 line_addr) const {

@@ -16,6 +16,7 @@
 #include "common/types.hpp"
 #include "encoding/encoder.hpp"
 #include "fault/fault_injector.hpp"
+#include "fault/power_failure.hpp"
 
 namespace nvmenc {
 
@@ -32,6 +33,13 @@ struct NvmDeviceConfig {
   /// outlive the device. nullptr (or all rates zero) = ideal cells, and
   /// the store/load paths are bit-identical to a device without one.
   FaultInjector* injector = nullptr;
+  /// Optional power-cut source (src/fault/power_failure.hpp). Not owned;
+  /// must outlive the device. When set, every store draws its program
+  /// pulses from the plan's budget; the store that exhausts it is applied
+  /// only up to the cut point and throws PowerLossError, leaving the line
+  /// torn (old/new data mix, stale or partial metadata) exactly as a real
+  /// power cut would. nullptr = unlimited power, zero overhead.
+  PowerFailurePlan* power = nullptr;
 };
 
 /// Per-line wear summary.
@@ -61,7 +69,9 @@ class NvmDevice {
   /// transiently fail (retain their old value) or become hard stuck; the
   /// device applies the damage silently, exactly like real PCM — callers
   /// that care must read back and verify (MemoryController's
-  /// program-and-verify path does).
+  /// program-and-verify path does). When a PowerFailurePlan is attached
+  /// and its pulse budget runs out inside this store, the image is
+  /// committed only up to the cut point and PowerLossError is thrown.
   void store(u64 line_addr, const StoredLine& image, usize flips);
 
   [[nodiscard]] const LineWear* wear(u64 line_addr) const;
@@ -75,6 +85,9 @@ class NvmDevice {
   [[nodiscard]] usize touched_lines() const noexcept {
     return lines_.size();
   }
+  /// Addresses of every line ever touched, ascending (deterministic
+  /// iteration for recovery scans over the unordered map).
+  [[nodiscard]] std::vector<u64> line_addrs() const;
 
   /// Injects a stuck-at fault: data bit `bit` of `line_addr` stops
   /// updating. For failure-injection tests.
@@ -94,6 +107,10 @@ class NvmDevice {
   [[nodiscard]] bool sampled(u64 line_addr) const noexcept;
   /// Freezes a data cell (idempotent); bumps failed_lines_ on the first.
   void add_stuck_bit(LineState& st, usize bit);
+  /// The store body (wear, endurance, stuck cells, injected faults);
+  /// `image` is the full image this store should leave behind.
+  void apply_store(LineState& st, u64 line_addr, const StoredLine& image,
+                   usize flips);
 
   NvmDeviceConfig config_;
   Initializer initializer_;

@@ -1,9 +1,11 @@
 #include "runner/parallel_runner.hpp"
 
 #include <memory>
+#include <optional>
 #include <sstream>
 
 #include "common/rng.hpp"
+#include "sim/checkpoint.hpp"
 #include "runner/parallel_for.hpp"
 #include "runner/thread_pool.hpp"
 #include "trace/synthetic.hpp"
@@ -63,7 +65,65 @@ ExperimentMatrix ParallelExperimentRunner::run(
   std::vector<std::vector<ReplayResult>> results(
       num_benchmarks, std::vector<ReplayResult>(num_schemes));
 
+  // Checkpoint/resume: cells adopted from a checkpoint are marked done and
+  // never re-run; newly completed cells are appended as they finish. The
+  // per-cell salts below depend only on matrix coordinates, so the resumed
+  // and fresh cells assemble into a bit-identical matrix.
+  std::vector<std::vector<char>> done(num_benchmarks,
+                                      std::vector<char>(num_schemes, 0));
+  std::unique_ptr<CheckpointWriter> writer;
+  if (config.checkpoint.enabled()) {
+    const u64 fingerprint = experiment_fingerprint(names, schemes, config);
+    std::optional<CheckpointLoad> resumed;
+    if (config.checkpoint.resume) {
+      resumed = load_checkpoint(checkpoint_path(config.checkpoint.dir),
+                                fingerprint);
+      usize adopted = 0;
+      for (CheckpointCell& cell : resumed->cells) {
+        if (cell.benchmark >= num_benchmarks || cell.scheme >= num_schemes ||
+            done[cell.benchmark][cell.scheme] != 0) {
+          continue;
+        }
+        results[cell.benchmark][cell.scheme] = std::move(cell.result);
+        done[cell.benchmark][cell.scheme] = 1;
+        ++adopted;
+      }
+      if (progress != nullptr) {
+        std::ostringstream note;
+        note << "  [checkpoint] resumed " << adopted << "/"
+             << num_benchmarks * num_schemes << " cells";
+        if (resumed->torn_records > 0) {
+          note << " (" << resumed->torn_records
+               << " torn record(s) discarded)";
+        }
+        progress->announce(note.str());
+      }
+    }
+    writer = std::make_unique<CheckpointWriter>(
+        config.checkpoint, fingerprint, resumed ? &*resumed : nullptr);
+  }
+
+  const CancellationToken* cancel = config.cancel;
+  auto cancelled = [cancel] {
+    return cancel != nullptr && cancel->stop_requested();
+  };
+  auto row_done = [&](usize b) {
+    for (usize s = 0; s < num_schemes; ++s) {
+      if (done[b][s] == 0) return false;
+    }
+    return true;
+  };
+
   auto collect_one = [&](usize b) {
+    // A fully resumed (or cancelled) row never replays, so its workload
+    // is not needed — skip the expensive cache simulation outright.
+    if (row_done(b)) {
+      if (progress != nullptr) {
+        progress->job_done(profiles[b].name, "resumed from checkpoint");
+      }
+      return;
+    }
+    if (cancelled()) return;
     try {
       collected[b].workload = std::make_unique<SyntheticWorkload>(
           profiles[b], benchmark_seed(config.seed, b));
@@ -86,21 +146,39 @@ ExperimentMatrix ParallelExperimentRunner::run(
   // sweep is bit-identical for every --jobs value.
   auto replay_one = [&](usize b, usize s) {
     ReplayResult& cell = results[b][s];
-    if (collected[b].error) {
-      cell.benchmark = names[b];
-      cell.scheme = scheme_name(schemes[s]);
-      cell.error = collected[b].error;
+    if (done[b][s] != 0) return;
+    cell.benchmark = names[b];
+    cell.scheme = scheme_name(schemes[s]);
+    // Cancelled cells (stop requested, or collection was skipped by the
+    // stop) are left incomplete and deliberately NOT checkpointed: a
+    // resume must re-run them.
+    if (cancelled() ||
+        (!collected[b].error && collected[b].workload == nullptr)) {
+      cell.error = CellError{"replay", "cancelled before completion"};
       return;
     }
-    try {
-      cell = replay_scheme(collected[b].trace, schemes[s], config.energy,
-                           config.fault, b * num_schemes + s + 1);
-    } catch (const std::exception& e) {
-      cell = ReplayResult{};
-      cell.benchmark = names[b];
-      cell.scheme = scheme_name(schemes[s]);
-      cell.error = CellError{"replay", e.what()};
+    if (collected[b].error) {
+      cell.error = collected[b].error;
+    } else {
+      try {
+        cell = replay_scheme(collected[b].trace, schemes[s], config.energy,
+                             config.fault, b * num_schemes + s + 1, cancel);
+      } catch (const CancelledRun&) {
+        cell = ReplayResult{};
+        cell.benchmark = names[b];
+        cell.scheme = scheme_name(schemes[s]);
+        cell.error = CellError{"replay", "cancelled before completion"};
+        return;
+      } catch (const std::exception& e) {
+        cell = ReplayResult{};
+        cell.benchmark = names[b];
+        cell.scheme = scheme_name(schemes[s]);
+        cell.error = CellError{"replay", e.what()};
+      }
     }
+    // Completed (including a real collect/replay failure, which is
+    // deterministic and resumable as-is): make it durable.
+    if (writer != nullptr) writer->record(b, s, cell);
   };
 
   if (jobs_ == 1) {
@@ -117,6 +195,9 @@ ExperimentMatrix ParallelExperimentRunner::run(
       replay_one(cell / num_schemes, cell % num_schemes);
     });
   }
+  // Final durability point: whatever completed is on disk before the
+  // matrix is assembled (the SIGINT path relies on this).
+  if (writer != nullptr) writer->flush();
 
   if (progress != nullptr) {
     usize failed = 0;

@@ -46,10 +46,19 @@ class ThreadPool {
     return result;
   }
 
-  /// Drains the queue, stops accepting work and joins every worker.
-  /// Idempotent: calling it again (or destroying the pool after it) is a
-  /// no-op.
+  /// Graceful stop: every task already in the queue still runs, then the
+  /// workers join. Idempotent: calling it again (or destroying the pool
+  /// after it, or after cancel()) is a no-op.
   void shutdown();
+
+  /// Abandoning stop: tasks not yet started are discarded (their futures
+  /// report std::future_error / broken_promise), in-flight tasks finish,
+  /// then the workers join. This is the Ctrl-C path — a cancelled matrix
+  /// must not run the rest of its cells to completion first.
+  void cancel();
+
+  /// Tasks queued but not yet picked up by a worker.
+  [[nodiscard]] usize pending() const;
 
   [[nodiscard]] usize size() const noexcept { return workers_.size(); }
 
@@ -59,8 +68,10 @@ class ThreadPool {
  private:
   void enqueue(std::function<void()> job);
   void worker_loop();
+  /// Shared stop implementation; `abandon` drops the queued tasks.
+  void stop(bool abandon);
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;

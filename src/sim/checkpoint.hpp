@@ -1,0 +1,116 @@
+// Crash-consistent checkpointing of the experiment matrix.
+//
+// A matrix run can take hours at paper-scale access counts; losing the
+// machine (or hitting Ctrl-C) should not discard the completed cells. The
+// checkpoint is an append-only file of per-cell records: every finished
+// (benchmark, scheme) cell appends one self-checksummed line holding its
+// complete ReplayResult. Because each cell's inputs are derived purely
+// from (seed, benchmark index, scheme index) — never from worker count or
+// completion order — a resumed run replays only the missing cells and the
+// assembled matrix is bit-identical to an uninterrupted run at any --jobs
+// value (enforced by tests/test_checkpoint_resume.cpp, which SIGKILLs a
+// child mid-run and diffs the tables).
+//
+// Torn tails are expected, not exceptional: a power cut or SIGKILL can
+// land mid-append. Every record carries an FNV-1a checksum; the loader
+// accepts the longest valid prefix, reports how many torn trailing
+// records it discarded, and the writer truncates the file back to that
+// prefix before appending, so one crash never corrupts the next resume.
+//
+// The file header pins a fingerprint of everything that determines cell
+// contents (benchmarks, schemes, seed, collector/energy/fault config —
+// deliberately NOT --jobs or the checkpoint settings). Resuming against a
+// different experiment fails loudly instead of silently mixing results.
+#pragma once
+
+#include <functional>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/schemes.hpp"
+#include "sim/replay.hpp"
+
+namespace nvmenc {
+
+struct ExperimentConfig;  // sim/experiment.hpp (which includes this header)
+
+struct CheckpointConfig {
+  /// Directory holding the checkpoint file; empty = checkpointing off.
+  std::string dir;
+  /// Flush (make crash-durable) after this many newly completed cells.
+  usize every = 1;
+  /// Resume from an existing checkpoint instead of starting fresh. The
+  /// file must exist and its fingerprint must match the experiment.
+  bool resume = false;
+  /// Test hook: invoked after each durable flush with the total number of
+  /// records written so far. The kill/resume equivalence test raises
+  /// SIGKILL in here to die at an exact record boundary.
+  std::function<void(usize)> after_flush;
+
+  [[nodiscard]] bool enabled() const noexcept { return !dir.empty(); }
+};
+
+/// The checkpoint file inside `dir`.
+[[nodiscard]] std::string checkpoint_path(const std::string& dir);
+
+/// Hash of everything that determines the matrix's cell contents. Two
+/// configs with equal fingerprints produce bit-identical cells; --jobs and
+/// the checkpoint settings are excluded so a resume may change them.
+[[nodiscard]] u64 experiment_fingerprint(
+    const std::vector<std::string>& benchmarks,
+    const std::vector<Scheme>& schemes, const ExperimentConfig& config);
+
+/// One recovered cell: matrix coordinates plus the full replay result
+/// (statistics or the structured CellError the cell originally produced).
+struct CheckpointCell {
+  usize benchmark = 0;
+  usize scheme = 0;
+  ReplayResult result;
+};
+
+struct CheckpointLoad {
+  std::vector<CheckpointCell> cells;
+  /// Torn/corrupt trailing records discarded (normal after a crash).
+  usize torn_records = 0;
+  /// Byte length of the valid prefix (header + intact records); the
+  /// writer truncates the file to this before appending.
+  u64 valid_bytes = 0;
+};
+
+/// Parses a checkpoint file, keeping the longest valid prefix. Throws
+/// std::runtime_error when the file is unreadable, carries an unknown
+/// format version, or was written for a different experiment
+/// (fingerprint mismatch).
+[[nodiscard]] CheckpointLoad load_checkpoint(const std::string& path,
+                                             u64 fingerprint);
+
+/// Appends completed cells to the checkpoint file. Thread-safe: matrix
+/// workers call record() concurrently. Flushes every
+/// CheckpointConfig::every records and once more on destruction.
+class CheckpointWriter {
+ public:
+  /// Fresh start writes a new header; with `resumed` non-null the file is
+  /// first truncated to the loaded valid prefix and then appended to.
+  CheckpointWriter(CheckpointConfig config, u64 fingerprint,
+                   const CheckpointLoad* resumed);
+  ~CheckpointWriter();
+
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  void record(usize benchmark, usize scheme, const ReplayResult& result);
+  void flush();
+
+ private:
+  void flush_locked();
+
+  CheckpointConfig config_;
+  std::ofstream out_;
+  std::mutex mutex_;
+  usize pending_ = 0;
+  usize written_total_ = 0;
+};
+
+}  // namespace nvmenc

@@ -11,8 +11,10 @@
 #include <functional>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/table.hpp"
 #include "core/schemes.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/collector.hpp"
 #include "sim/replay.hpp"
 #include "trace/profile.hpp"
@@ -32,6 +34,16 @@ struct ExperimentConfig {
   /// Fault-injection rates + resilience policy applied to every replay
   /// cell. Inactive (the default) = the exact legacy pipeline.
   FaultPlan fault;
+  /// Crash-consistent checkpointing of completed cells (off by default).
+  /// With `resume` set, cells found in the checkpoint are adopted verbatim
+  /// and only the missing ones run — the assembled matrix is bit-identical
+  /// to an uninterrupted run (src/sim/checkpoint.hpp).
+  CheckpointConfig checkpoint;
+  /// Cooperative cancellation (e.g. a SIGINT handler). Polled at cell
+  /// boundaries and once per replayed write-back; after a stop request,
+  /// unfinished cells end as "cancelled" CellErrors and are NOT recorded
+  /// to the checkpoint, so a later --resume re-runs them.
+  const CancellationToken* cancel = nullptr;
 };
 
 class ExperimentMatrix {

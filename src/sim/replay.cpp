@@ -10,10 +10,16 @@ namespace nvmenc {
 
 namespace {
 
+/// Once per write-back: abandon the replay if a stop was requested.
+inline void check_cancel(const CancellationToken* cancel) {
+  if (cancel != nullptr && cancel->stop_requested()) throw CancelledRun{};
+}
+
 /// Replays through the paper's idealized accounting (no Encoder, no
 /// device): a flat logical image plus per-line tag/flag state.
 ReplayResult replay_paper_model(const WritebackTrace& trace, Scheme scheme,
-                                const EnergyParams& energy) {
+                                const EnergyParams& energy,
+                                const CancellationToken* cancel) {
   AdaptiveConfig config;
   config.granularity_levels = scheme == Scheme::kReadSaePaper ? 4 : 1;
   const PaperModelReadSae read_model{config};
@@ -44,6 +50,7 @@ ReplayResult replay_paper_model(const WritebackTrace& trace, Scheme scheme,
                                                   : read_model.meta_bits();
 
   for (const WriteBack& wb : trace.warmup) {
+    check_cancel(cancel);
     CacheLine& old_line = line_of(wb.line_addr);
     (void)model_write(wb.line_addr, old_line, wb.data);
     old_line = wb.data;
@@ -52,6 +59,7 @@ ReplayResult replay_paper_model(const WritebackTrace& trace, Scheme scheme,
   cc.energy = energy;
   cc.charge_encode_logic = charges_encode_logic(scheme);
   for (const WriteBack& wb : trace.measured) {
+    check_cancel(cancel);
     CacheLine& old_line = line_of(wb.line_addr);
     const usize dirty_words = popcount(wb.data.dirty_mask(old_line));
     const FlipBreakdown fb = model_write(wb.line_addr, old_line, wb.data);
@@ -76,10 +84,11 @@ ReplayResult replay_paper_model(const WritebackTrace& trace, Scheme scheme,
 
 ReplayResult replay_scheme(const WritebackTrace& trace, Scheme scheme,
                            const EnergyParams& energy, const FaultPlan& fault,
-                           u64 fault_seed_salt) {
+                           u64 fault_seed_salt,
+                           const CancellationToken* cancel) {
   if (is_paper_model(scheme)) {
     // Idealized accounting has no device, hence no cells to misbehave.
-    return replay_paper_model(trace, scheme, energy);
+    return replay_paper_model(trace, scheme, energy, cancel);
   }
   EncoderPtr encoder = make_encoder(scheme);
   const Encoder* enc = encoder.get();
@@ -105,9 +114,13 @@ ReplayResult replay_scheme(const WritebackTrace& trace, Scheme scheme,
   ControllerConfig config;
   config.energy = energy;
   config.charge_encode_logic = charges_encode_logic(scheme);
-  config.verify.program_and_verify = fault.active();
+  // Atomicity alone does not imply verify reads: an atomic-only plan runs
+  // the plain differential store inside the commit protocol.
+  config.verify.program_and_verify =
+      fault.inject.any() || fault.protect_meta || fault.force_verify;
   config.verify.retry_limit = fault.retry_limit;
   config.verify.protect_meta = protect;
+  config.verify.atomic_writes = fault.atomic_writes;
 
   // SAFER encodings, the remap table and retired lines are device state:
   // one context spans the warm-up and measured controllers.
@@ -124,6 +137,7 @@ ReplayResult replay_scheme(const WritebackTrace& trace, Scheme scheme,
     MemoryController warmup{config, make_encoder(scheme), device, nullptr,
                             fault_state};
     for (const WriteBack& wb : trace.warmup) {
+      check_cancel(cancel);
       warmup.write_line(wb.line_addr, wb.data);
     }
   }
@@ -132,6 +146,7 @@ ReplayResult replay_scheme(const WritebackTrace& trace, Scheme scheme,
   MemoryController controller{config, std::move(encoder), device, nullptr,
                               fault_state};
   for (const WriteBack& wb : trace.measured) {
+    check_cancel(cancel);
     controller.write_line(wb.line_addr, wb.data);
   }
 

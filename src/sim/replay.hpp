@@ -9,6 +9,7 @@
 
 #include <optional>
 
+#include "common/cancel.hpp"
 #include "core/schemes.hpp"
 #include "fault/fault_injector.hpp"
 #include "nvm/controller.hpp"
@@ -48,10 +49,14 @@ struct ReplayResult {
 /// (inactive) plan takes the exact legacy path — statistics are
 /// bit-identical to a replay without the fault layer. Paper-model schemes
 /// have no device and ignore the plan.
-[[nodiscard]] ReplayResult replay_scheme(const WritebackTrace& trace,
-                                         Scheme scheme,
-                                         const EnergyParams& energy = {},
-                                         const FaultPlan& fault = {},
-                                         u64 fault_seed_salt = 0);
+///
+/// `cancel`, when non-null, is polled once per write-back; a requested
+/// stop aborts the replay by throwing CancelledRun (deliberately not a
+/// std::exception, so graceful-degradation handlers cannot misfile a user
+/// interrupt as a cell failure).
+[[nodiscard]] ReplayResult replay_scheme(
+    const WritebackTrace& trace, Scheme scheme, const EnergyParams& energy = {},
+    const FaultPlan& fault = {}, u64 fault_seed_salt = 0,
+    const CancellationToken* cancel = nullptr);
 
 }  // namespace nvmenc

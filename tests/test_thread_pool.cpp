@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "runner/parallel_for.hpp"
@@ -64,6 +66,61 @@ TEST(ThreadPool, DoubleShutdownIsSafe) {
   pool.shutdown();  // idempotent
   EXPECT_EQ(f.get(), 1);
   EXPECT_THROW((void)pool.submit([] { return 2; }), std::runtime_error);
+}
+
+TEST(ThreadPool, CancelAbandonsQueuedWork) {
+  ThreadPool pool{2};
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<usize> ran{0};
+  // Two blockers occupy both workers; four more tasks pile up behind them.
+  std::vector<std::future<int>> blockers;
+  for (usize i = 0; i < 2; ++i) {
+    blockers.push_back(pool.submit([gate, &ran] {
+      gate.wait();
+      ++ran;
+      return 1;
+    }));
+  }
+  std::vector<std::future<int>> queued;
+  for (usize i = 0; i < 4; ++i) {
+    queued.push_back(pool.submit([&ran] {
+      ++ran;
+      return 2;
+    }));
+  }
+  // FIFO dispatch: once pending() drops to the four trailing tasks, both
+  // blockers are in worker hands and nothing else can be dequeued.
+  while (pool.pending() > 4) std::this_thread::yield();
+  // cancel() clears the queue up front, then blocks joining the workers —
+  // release the blockers only after the queue is observably empty.
+  std::thread canceller{[&pool] { pool.cancel(); }};
+  while (pool.pending() != 0) std::this_thread::yield();
+  release.set_value();
+  canceller.join();
+
+  for (auto& f : blockers) EXPECT_EQ(f.get(), 1);  // in-flight work finished
+  for (auto& f : queued) {
+    try {
+      (void)f.get();
+      ADD_FAILURE() << "abandoned task delivered a value";
+    } catch (const std::future_error& e) {
+      EXPECT_TRUE(e.code() == std::future_errc::broken_promise);
+    }
+  }
+  EXPECT_EQ(ran.load(), 2u);  // only the blockers ever executed
+  EXPECT_THROW((void)pool.submit([] { return 3; }), std::runtime_error);
+}
+
+TEST(ThreadPool, CancelIsIdempotentAndComposesWithShutdown) {
+  ThreadPool pool{2};
+  std::future<int> f = pool.submit([] { return 9; });
+  EXPECT_EQ(f.get(), 9);
+  EXPECT_EQ(pool.pending(), 0u);
+  pool.cancel();
+  pool.cancel();    // idempotent
+  pool.shutdown();  // and interchangeable once stopped
+  EXPECT_THROW((void)pool.submit([] { return 0; }), std::runtime_error);
 }
 
 TEST(ThreadPool, DestructorDrainsPendingTasks) {

@@ -16,9 +16,11 @@
 //   nvmenc perf --benchmark=gcc [--accesses=N] [--encode-ns=X] [--sched]
 //       Timing replay through the banked memory model.
 #include <chrono>
+#include <csignal>
 #include <iostream>
 #include <sstream>
 
+#include "common/cancel.hpp"
 #include "common/table.hpp"
 #include "runner/parallel_runner.hpp"
 #include "sim/experiment.hpp"
@@ -54,8 +56,20 @@ struct Args {
   double stuck_rate = 0.0;
   usize retry_limit = 3;
   bool protect_meta = false;
+  bool atomic_writes = false;
   u64 fault_seed = 1;
+  // Checkpoint/resume knobs (matrix).
+  std::string checkpoint_dir;
+  usize checkpoint_every = 1;
+  bool resume = false;
 };
+
+/// Set by the SIGINT/SIGTERM handler; the matrix polls it at write-back
+/// granularity. CancellationToken is a lock-free atomic, so flipping it
+/// from a signal handler is safe.
+CancellationToken g_cancel;
+
+void handle_stop_signal(int) { g_cancel.request_stop(); }
 
 [[noreturn]] void usage() {
   std::cerr <<
@@ -68,6 +82,13 @@ struct Args {
       "          [--stuck-rate=P] [--retry-limit=N] [--protect-meta]\n"
       "          [--fault-seed=S]  (any non-zero rate turns the write path\n"
       "          into program-and-verify with SAFER/retirement escalation)\n"
+      "          [--atomic-writes]  (power-failure-atomic commit protocol\n"
+      "          on every write-back; costs the redo-log writes)\n"
+      "          checkpointing: [--checkpoint-dir=DIR]\n"
+      "          [--checkpoint-every=N] [--resume]  (completed cells are\n"
+      "          appended crash-consistently; Ctrl-C stops at the next\n"
+      "          write-back and a rerun with --resume replays only the\n"
+      "          missing cells, bit-identical to an uninterrupted run)\n"
       "  trace:  --benchmark=NAME --out=FILE [--accesses=N] [--seed=S]\n"
       "          [--format=bin|text]\n"
       "  replay: --in=FILE --scheme=NAME [--format=bin|text]\n"
@@ -106,9 +127,17 @@ Args parse(int argc, char** argv) {
     else if (auto vd = value("retry-limit"))
       args.retry_limit = std::stoull(*vd);
     else if (auto ve = value("fault-seed")) args.fault_seed = std::stoull(*ve);
+    else if (auto vf = value("checkpoint-dir")) args.checkpoint_dir = *vf;
+    else if (auto vg = value("checkpoint-every"))
+      args.checkpoint_every = std::stoull(*vg);
     else if (arg == "--protect-meta") args.protect_meta = true;
+    else if (arg == "--atomic-writes") args.atomic_writes = true;
+    else if (arg == "--resume") args.resume = true;
     else if (arg == "--sched") args.sched = true;
-    else usage();
+    else {
+      std::cerr << "unknown option '" << arg << "'\n";
+      usage();
+    }
   }
   return args;
 }
@@ -209,9 +238,34 @@ int cmd_matrix(const Args& args) {
   cfg.fault.inject.seed = args.fault_seed;
   cfg.fault.retry_limit = args.retry_limit;
   cfg.fault.protect_meta = args.protect_meta;
+  cfg.fault.atomic_writes = args.atomic_writes;
+  if (args.resume && args.checkpoint_dir.empty()) {
+    std::cerr << "error: --resume requires --checkpoint-dir\n";
+    return 2;
+  }
+  cfg.checkpoint.dir = args.checkpoint_dir;
+  cfg.checkpoint.every = args.checkpoint_every;
+  cfg.checkpoint.resume = args.resume;
+
+  // Ctrl-C / SIGTERM stop the matrix at the next write-back boundary; the
+  // completed cells are already checkpointed, the rest resume later.
+  cfg.cancel = &g_cancel;
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
   const auto matrix_start = std::chrono::steady_clock::now();
   const ExperimentMatrix m =
       run_experiment(profiles, schemes, cfg, &std::cout);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  if (g_cancel.stop_requested()) {
+    std::cout << "\ninterrupted";
+    if (cfg.checkpoint.enabled()) {
+      std::cout << ": completed cells saved to " << cfg.checkpoint.dir
+                << "; rerun with --resume to finish the remaining cells";
+    }
+    std::cout << "\n";
+    return 130;
+  }
   const double matrix_secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     matrix_start)
@@ -365,6 +419,7 @@ int main(int argc, char** argv) {
     if (args.command == "trace") return cmd_trace(args);
     if (args.command == "replay") return cmd_replay(args);
     if (args.command == "perf") return cmd_perf(args);
+    std::cerr << "unknown command '" << args.command << "'\n";
     usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
