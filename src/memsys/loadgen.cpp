@@ -1,0 +1,166 @@
+#include "memsys/loadgen.hpp"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace nvmenc {
+
+const char* load_pattern_name(LoadPattern pattern) {
+  switch (pattern) {
+    case LoadPattern::kUniform:
+      return "uniform";
+    case LoadPattern::kZipfian:
+      return "zipfian";
+    case LoadPattern::kDiurnal:
+      return "diurnal";
+  }
+  return "?";
+}
+
+LoadPattern load_pattern_by_name(const std::string& name) {
+  if (name == "uniform") return LoadPattern::kUniform;
+  if (name == "zipfian") return LoadPattern::kZipfian;
+  if (name == "diurnal") return LoadPattern::kDiurnal;
+  throw std::invalid_argument{"unknown load pattern: " + name +
+                              " (expected uniform|zipfian|diurnal)"};
+}
+
+void LoadGenConfig::validate() const {
+  require(users >= 1, "load needs at least one user");
+  require(requests >= 1, "load needs at least one request");
+  require(footprint_lines >= 2, "footprint must exceed one line");
+  require(think_ns >= 0.0, "think time must be non-negative");
+  require(read_fraction >= 0.0 && read_fraction <= 1.0,
+          "read fraction must be in [0, 1]");
+  require(zipf_theta > 0.0 && zipf_theta < 1.0,
+          "zipf theta must be in (0, 1)");
+  require(diurnal_phases >= 1, "diurnal needs at least one phase");
+  require(diurnal_shift >= 0.0 && diurnal_shift <= 1.0,
+          "diurnal shift must be in [0, 1]");
+}
+
+ZipfianSampler::ZipfianSampler(u64 n, double theta)
+    : n_{n}, theta_{theta}, alpha_{1.0 / (1.0 - theta)} {
+  require(n >= 2, "zipfian needs at least two items");
+  require(theta > 0.0 && theta < 1.0, "zipf theta must be in (0, 1)");
+  double zetan = 0.0;
+  for (u64 i = 1; i <= n; ++i) {
+    zetan += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  zetan_ = zetan;
+  const double zeta2 = 1.0 + 1.0 / std::pow(2.0, theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan);
+}
+
+u64 ZipfianSampler::sample(Xoshiro256& rng) const noexcept {
+  const double u = rng.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const u64 rank = static_cast<u64>(
+      static_cast<double>(n_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+AddressSampler::AddressSampler(const LoadGenConfig& config)
+    : config_{config},
+      zipf_{config.footprint_lines, config.zipf_theta},
+      phase_len_{config.requests / config.diurnal_phases + 1} {
+  config_.validate();
+}
+
+u64 AddressSampler::draw(Xoshiro256& rng, u64 issued_index) const {
+  if (config_.pattern == LoadPattern::kUniform) {
+    return rng.next_below(config_.footprint_lines);
+  }
+  const u64 rank = zipf_.sample(rng);
+  // Scramble ranks across the footprint so popularity is not adjacency.
+  SplitMix64 sm{rank ^ (config_.seed * 0x9e3779b97f4a7c15ull)};
+  const u64 scrambled = sm.next() % config_.footprint_lines;
+  if (config_.pattern == LoadPattern::kZipfian) return scrambled;
+  // Diurnal: the whole popularity map rotates by `diurnal_shift` of the
+  // footprint each phase, moving the hot set into previously cold lines.
+  const u64 phase = issued_index / phase_len_;
+  const u64 offset = static_cast<u64>(
+      config_.diurnal_shift * static_cast<double>(config_.footprint_lines));
+  return (scrambled + phase * offset) % config_.footprint_lines;
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct UserArrival {
+  double time_ns = 0.0;
+  usize user = 0;
+};
+struct LaterArrival {
+  bool operator()(const UserArrival& a, const UserArrival& b) const noexcept {
+    if (a.time_ns != b.time_ns) return a.time_ns > b.time_ns;
+    return a.user > b.user;  // deterministic tie-break
+  }
+};
+
+}  // namespace
+
+LoadResult run_load(const LoadGenConfig& load, const MemSysConfig& mem) {
+  load.validate();
+  MemorySystem sys{mem};
+  const AddressSampler sampler{load};
+
+  // Fork one generator per user so the per-user streams are independent of
+  // interleaving order.
+  SplitMix64 sm{load.seed};
+  std::vector<Xoshiro256> rngs;
+  rngs.reserve(load.users);
+  for (usize u = 0; u < load.users; ++u) rngs.emplace_back(sm.next());
+
+  const auto think = [&](usize u) {
+    if (load.think_ns == 0.0) return 0.0;
+    return -load.think_ns * std::log(1.0 - rngs[u].next_double());
+  };
+
+  std::priority_queue<UserArrival, std::vector<UserArrival>, LaterArrival>
+      arrivals;
+  for (usize u = 0; u < load.users; ++u) arrivals.push({think(u), u});
+
+  std::unordered_map<u64, usize> inflight;  // ticket -> user
+  u64 issued = 0;
+  while (issued < load.requests || !inflight.empty()) {
+    const double next_arrival = arrivals.empty() ? kInf : arrivals.top().time_ns;
+    // Deliver every completion due before the next arrival; each unblocks
+    // its user, whose next arrival may in turn precede the current top.
+    if (const auto comp = sys.step_until(next_arrival)) {
+      const auto it = inflight.find(comp->ticket);
+      const usize u = it->second;
+      inflight.erase(it);
+      arrivals.push({comp->time_ns + think(u), u});
+      continue;
+    }
+    if (arrivals.empty()) break;
+    const UserArrival arr = arrivals.top();
+    arrivals.pop();
+    if (issued >= load.requests) continue;  // quota filled: user retires
+    const u64 addr = sampler.draw(rngs[arr.user], issued);
+    const ReqKind kind = rngs[arr.user].next_bool(load.read_fraction)
+                             ? ReqKind::kRead
+                             : ReqKind::kWrite;
+    inflight.emplace(sys.submit(addr, kind, arr.time_ns), arr.user);
+    ++issued;
+  }
+
+  LoadResult result;
+  result.makespan_ns = sys.drain_all();
+  result.stats = sys.stats();
+  result.timing = sys.timing().stats();
+  return result;
+}
+
+}  // namespace nvmenc

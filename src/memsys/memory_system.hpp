@@ -1,0 +1,142 @@
+// Event-driven multi-channel memory-system front-end.
+//
+// This is the layer ROADMAP item 1 asks for: the banked MemoryTimingModel
+// stops being a passive service-time calculator and becomes a system that
+// *serves traffic*. Each channel gets an asynchronous request queue with
+// FR-FCFS-style arbitration:
+//
+//   * demand reads have priority over buffered writes;
+//   * among eligible requests (arrived, target bank free) the arbiter
+//     prefers row-buffer hits, falling back to oldest-first, with an age
+//     cap so row hits cannot starve an old request;
+//   * writes are posted into a bounded per-channel write queue; when the
+//     queue crosses the high watermark the channel drains writes — reads
+//     stall behind the drain until the queue falls to the low watermark
+//     (the classic write-induced read-latency spike the paper's §3.4.2
+//     "encode latency is negligible" claim must survive);
+//   * a read to a queued write's line is forwarded from the queue;
+//     a re-write of a queued line coalesces;
+//   * a write arriving at a full queue is parked: its acceptance (and the
+//     issuing CPU) stalls until a drain frees a slot — write backpressure.
+//
+// Encode latency rides on writes via MemOrg::encode_latency_ns, so the
+// scheme's encoder cost inflates exactly the operations that monopolize
+// banks during drains. Simulation is single-threaded discrete-event in
+// virtual time and fully deterministic: parallelism belongs one level up
+// (sweep cells), keeping results --jobs-independent like the matrix.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "memsys/request.hpp"
+#include "nvm/timing.hpp"
+
+namespace nvmenc {
+
+struct MemSysConfig {
+  MemOrg org;                        ///< channels > 1 is the point
+  usize write_queue_capacity = 64;   ///< per channel
+  usize high_watermark = 48;         ///< enter drain mode at this depth
+  usize low_watermark = 16;          ///< leave drain mode at this depth
+  double t_cmd_ns = 4.0;    ///< per-command issue occupancy of a channel
+  double forward_ns = 0.0;  ///< read-around-write forward latency
+  /// A read older than this always beats younger row hits (anti-starvation).
+  double starvation_cap_ns = 2000.0;
+  /// Issue buffered writes when a channel has no pending reads, keeping
+  /// queues shallow at low load instead of waiting for the watermark.
+  bool opportunistic_writes = true;
+
+  void validate() const;
+};
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(MemSysConfig config);
+
+  /// Submits a request arriving at `now_ns` and returns its ticket.
+  /// Arrivals must be delivered in nondecreasing time order, and never
+  /// earlier than a completion already returned by step_until.
+  u64 submit(u64 line_addr, ReqKind kind, double now_ns);
+
+  /// Advances arbitration and returns the earliest undelivered completion
+  /// if its time is <= `t_ns`; otherwise processes everything schedulable
+  /// before `t_ns` and returns nullopt. The bound exists so the caller can
+  /// interleave future arrivals correctly: never arbitrate past the next
+  /// event the caller knows about.
+  std::optional<MemSysCompletion> step_until(double t_ns);
+
+  /// Flushes all pending work (ignoring watermarks once reads are done)
+  /// and discards the remaining completions; returns the time the last
+  /// one finished (or the last recorded completion when already idle).
+  double drain_all();
+
+  [[nodiscard]] const MemSysStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const MemoryTimingModel& timing() const noexcept {
+    return timing_;
+  }
+  [[nodiscard]] const MemSysConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] usize write_queue_depth(usize channel) const;
+  [[nodiscard]] usize pending_reads(usize channel) const;
+  [[nodiscard]] bool idle() const noexcept;
+
+ private:
+  struct PendingRead {
+    u64 ticket = 0;
+    u64 line_addr = 0;
+    double arrival = 0.0;
+    BankAddress where;
+  };
+  struct QueuedWrite {
+    u64 line_addr = 0;
+    double arrival = 0.0;
+    BankAddress where;
+  };
+  struct ParkedWrite {
+    u64 ticket = 0;
+    u64 line_addr = 0;
+    double arrival = 0.0;
+  };
+  struct Channel {
+    std::deque<PendingRead> reads;
+    std::deque<QueuedWrite> writes;
+    std::unordered_set<u64> queued_lines;  ///< forward/coalesce index
+    std::deque<ParkedWrite> parked;        ///< arrivals beyond capacity
+    bool draining = false;
+    double slot_free_at = 0.0;
+  };
+  struct LaterCompletion {
+    bool operator()(const MemSysCompletion& a,
+                    const MemSysCompletion& b) const noexcept {
+      if (a.time_ns != b.time_ns) return a.time_ns > b.time_ns;
+      return a.ticket > b.ticket;  // deterministic tie-break
+    }
+  };
+
+  /// Earliest time channel `c` could issue a command (+inf if none
+  /// pending/allowed). Mirrors the mode selection in arbitrate().
+  [[nodiscard]] double channel_wake(usize c) const;
+  void arbitrate(usize c, double now);
+  void issue_read(usize c, double now);
+  void issue_write(usize c, double now);
+  void accept_write(Channel& ch, u64 ticket, u64 line_addr, double arrival,
+                    double accept_time);
+  void push_completion(const MemSysCompletion& completion);
+
+  MemSysConfig config_;
+  MemoryTimingModel timing_;
+  std::vector<Channel> channels_;
+  std::priority_queue<MemSysCompletion, std::vector<MemSysCompletion>,
+                      LaterCompletion>
+      completions_;
+  MemSysStats stats_;
+  u64 next_ticket_ = 0;
+  bool flushing_ = false;  ///< drain_all: writes may issue below watermark
+};
+
+}  // namespace nvmenc

@@ -1,0 +1,205 @@
+#include "memsys/sweep.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+#include "common/error.hpp"
+#include "runner/parallel_for.hpp"
+#include "runner/parallel_runner.hpp"
+#include "runner/thread_pool.hpp"
+
+namespace nvmenc {
+
+void SweepConfig::validate() const {
+  load.validate();
+  mem.validate();
+  require(!schemes.empty(), "sweep needs at least one scheme");
+  require(!think_points.empty(), "sweep needs at least one think point");
+  for (const double t : think_points) {
+    require(t >= 0.0, "think points must be non-negative");
+  }
+  for (const SweepScheme& s : schemes) {
+    require(!is_paper_model(s.scheme),
+            "paper-model accounting schemes cannot serve traffic");
+  }
+}
+
+std::vector<SweepCell> run_saturation_sweep(const SweepConfig& config) {
+  config.validate();
+
+  // Energy calibration runs the real encoders; do it once per scheme, up
+  // front and serially (it is cheap and shared across load points).
+  std::map<Scheme, SchemeWriteCost> costs;
+  for (const SweepScheme& s : config.schemes) {
+    if (!costs.contains(s.scheme)) {
+      costs.emplace(s.scheme,
+                    calibrate_write_cost(s.scheme, config.energy_profile,
+                                         config.load.seed));
+    }
+  }
+
+  struct Cell {
+    SweepScheme scheme;
+    double think_ns = 0.0;
+  };
+  std::vector<Cell> plan;
+  for (const SweepScheme& s : config.schemes) {
+    for (const double think : config.think_points) {
+      plan.push_back({s, think});
+    }
+  }
+
+  std::vector<SweepCell> cells(plan.size());
+  ThreadPool pool{resolve_jobs(config.jobs)};
+  parallel_for(pool, plan.size(), [&](usize i) {
+    const Cell& c = plan[i];
+    LoadGenConfig load = config.load;
+    load.think_ns = c.think_ns;
+    MemSysConfig mem = config.mem;
+    mem.org.encode_latency_ns =
+        encode_latency_ns(c.scheme.scheme, c.scheme.model);
+
+    SweepCell& out = cells[i];
+    out.scheme_label = scheme_name(c.scheme.scheme);
+    out.model = encode_model_name(c.scheme.model);
+    out.encode_ns = mem.org.encode_latency_ns;
+    out.think_ns = c.think_ns;
+    out.load = run_load(load, mem);
+    out.cost = costs.at(c.scheme.scheme);
+    out.write_pj = out.cost.write_pj(config.energy,
+                                     charges_encode_logic(c.scheme.scheme));
+  });
+  return cells;
+}
+
+TextTable sweep_table(const std::vector<SweepCell>& cells) {
+  TextTable table{{"scheme", "model", "enc_ns", "think_ns", "GB/s",
+                   "p50_ns", "p95_ns", "p99_ns", "p99.9_ns", "drains",
+                   "stalls", "write_pJ"}};
+  for (const SweepCell& c : cells) {
+    const LatencyHistogram& h = c.load.stats.read_latency_ns;
+    table.add_row({c.scheme_label, c.model, TextTable::fmt(c.encode_ns, 2),
+                   TextTable::fmt(c.think_ns, 0),
+                   TextTable::fmt(c.load.stats.sustained_gbps(), 3),
+                   TextTable::fmt(h.p50(), 0), TextTable::fmt(h.p95(), 0),
+                   TextTable::fmt(h.p99(), 0), TextTable::fmt(h.p999(), 0),
+                   std::to_string(c.load.stats.drains),
+                   std::to_string(c.load.stats.write_stalls),
+                   TextTable::fmt(c.write_pj, 1)});
+  }
+  return table;
+}
+
+namespace {
+
+/// Shortest round-trippable decimal form, locale-independent.
+std::string jnum(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+double pct_delta(double value, double baseline) {
+  if (baseline == 0.0) return 0.0;
+  return (value - baseline) / baseline * 100.0;
+}
+
+}  // namespace
+
+void write_sweep_json(const std::string& path, const SweepConfig& config,
+                      const std::vector<SweepCell>& cells) {
+  require(!cells.empty(), "nothing to serialize");
+  std::ofstream os{path};
+  if (!os) throw std::runtime_error{"cannot write " + path};
+
+  os << "{\n";
+  os << "  \"bench\": \"memsys_latency\",\n";
+  os << "  \"config\": {\n";
+  os << "    \"pattern\": \"" << load_pattern_name(config.load.pattern)
+     << "\",\n";
+  os << "    \"users\": " << config.load.users << ",\n";
+  os << "    \"requests\": " << config.load.requests << ",\n";
+  os << "    \"footprint_lines\": " << config.load.footprint_lines << ",\n";
+  os << "    \"read_fraction\": " << jnum(config.load.read_fraction)
+     << ",\n";
+  os << "    \"seed\": " << config.load.seed << ",\n";
+  os << "    \"channels\": " << config.mem.org.channels << ",\n";
+  os << "    \"banks_per_channel\": "
+     << config.mem.org.ranks * config.mem.org.banks << ",\n";
+  os << "    \"write_queue_capacity\": " << config.mem.write_queue_capacity
+     << ",\n";
+  os << "    \"high_watermark\": " << config.mem.high_watermark << ",\n";
+  os << "    \"low_watermark\": " << config.mem.low_watermark << ",\n";
+  os << "    \"energy_profile\": \"" << config.energy_profile << "\",\n";
+  os << "    \"think_points_ns\": [";
+  for (usize i = 0; i < config.think_points.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << jnum(config.think_points[i]);
+  }
+  os << "]\n  },\n";
+
+  os << "  \"cells\": [\n";
+  for (usize i = 0; i < cells.size(); ++i) {
+    const SweepCell& c = cells[i];
+    const MemSysStats& s = c.load.stats;
+    const LatencyHistogram& h = s.read_latency_ns;
+    os << "    {\"scheme\": \"" << c.scheme_label << "\", \"model\": \""
+       << c.model << "\", \"encode_ns\": " << jnum(c.encode_ns)
+       << ", \"think_ns\": " << jnum(c.think_ns) << ",\n";
+    os << "     \"gbps\": " << jnum(s.sustained_gbps())
+       << ", \"read_mean_ns\": " << jnum(h.mean())
+       << ", \"read_p50_ns\": " << jnum(h.p50())
+       << ", \"read_p95_ns\": " << jnum(h.p95())
+       << ", \"read_p99_ns\": " << jnum(h.p99())
+       << ", \"read_p999_ns\": " << jnum(h.p999()) << ",\n";
+    os << "     \"reads\": " << s.reads << ", \"writes\": " << s.writes
+       << ", \"array_writes\": " << s.array_writes
+       << ", \"forwarded_reads\": " << s.forwarded_reads
+       << ", \"coalesced_writes\": " << s.coalesced_writes
+       << ", \"write_stalls\": " << s.write_stalls
+       << ", \"drains\": " << s.drains << ",\n";
+    os << "     \"row_hit_rate\": " << jnum(c.load.timing.row_hit_rate())
+       << ", \"makespan_ns\": " << jnum(c.load.makespan_ns)
+       << ", \"avg_sets\": " << jnum(c.cost.avg_sets)
+       << ", \"avg_resets\": " << jnum(c.cost.avg_resets)
+       << ", \"write_pj\": " << jnum(c.write_pj) << "}"
+       << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+
+  // Trade-off block: each scheme at its highest-load point against the
+  // first scheme's same point — latency cost vs energy saved, quantified.
+  double busiest = cells[0].think_ns;
+  for (const SweepCell& c : cells) busiest = std::min(busiest, c.think_ns);
+  std::vector<const SweepCell*> at_peak;
+  for (const SweepCell& c : cells) {
+    if (c.think_ns == busiest) at_peak.push_back(&c);
+  }
+  const SweepCell& base = *at_peak.front();
+  const LatencyHistogram& bh = base.load.stats.read_latency_ns;
+  os << "  \"tradeoff\": {\n";
+  os << "    \"baseline\": \"" << base.scheme_label << "/" << base.model
+     << "\",\n";
+  os << "    \"at_think_ns\": " << jnum(busiest) << ",\n";
+  os << "    \"schemes\": [\n";
+  for (usize i = 0; i < at_peak.size(); ++i) {
+    const SweepCell& c = *at_peak[i];
+    const LatencyHistogram& h = c.load.stats.read_latency_ns;
+    os << "      {\"scheme\": \"" << c.scheme_label << "\", \"model\": \""
+       << c.model << "\", \"read_p99_delta_pct\": "
+       << jnum(pct_delta(h.p99(), bh.p99()))
+       << ", \"read_p999_delta_pct\": "
+       << jnum(pct_delta(h.p999(), bh.p999())) << ", \"gbps_delta_pct\": "
+       << jnum(pct_delta(c.load.stats.sustained_gbps(),
+                         base.load.stats.sustained_gbps()))
+       << ", \"write_pj_delta_pct\": "
+       << jnum(pct_delta(c.write_pj, base.write_pj)) << "}"
+       << (i + 1 < at_peak.size() ? "," : "") << "\n";
+  }
+  os << "    ]\n  }\n}\n";
+  if (!os) throw std::runtime_error{"failed writing " + path};
+}
+
+}  // namespace nvmenc

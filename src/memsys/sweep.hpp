@@ -1,0 +1,70 @@
+// Saturation sweep: offered load x encoding scheme -> tail latency,
+// throughput, and write energy.
+//
+// The sweep runs the closed-loop generator at a ladder of think times
+// (long think = light load, short think = saturation) for each scheme's
+// encode-latency cost, answering the question the paper waves at in
+// §3.4.2: where on the load curve does the encoder's write-path latency
+// start to show up in the READ LATENCY TAIL? At light load the write
+// queue absorbs it; near saturation the drain episodes lengthen and p99 /
+// p99.9 read latency pays for every extra nanosecond of write occupancy.
+//
+// Cells are independent (config, seed) pairs, so they fan out across a
+// ThreadPool; results are collected in cell order, keeping output
+// byte-identical for any --jobs value.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "memsys/encode_cost.hpp"
+#include "memsys/loadgen.hpp"
+
+namespace nvmenc {
+
+/// One scheme under one encode-latency source.
+struct SweepScheme {
+  Scheme scheme = Scheme::kDcw;
+  EncodeLatencyModel model = EncodeLatencyModel::kPaper;
+};
+
+struct SweepConfig {
+  LoadGenConfig load;   ///< think_ns is overridden per sweep point
+  MemSysConfig mem;     ///< org.encode_latency_ns is overridden per scheme
+  std::vector<double> think_points = {1600.0, 400.0, 100.0, 25.0};
+  std::vector<SweepScheme> schemes;
+  /// Profile whose value mix calibrates per-scheme write energy.
+  std::string energy_profile = "gcc";
+  EnergyParams energy;
+  usize jobs = 0;  ///< sweep-cell workers; 0 = one per hardware context
+
+  void validate() const;
+};
+
+/// One (scheme, think point) cell of the sweep.
+struct SweepCell {
+  std::string scheme_label;  ///< display name of the scheme
+  std::string model;         ///< encode-latency source ("paper"/"measured")
+  double encode_ns = 0.0;    ///< latency charged per array write
+  double think_ns = 0.0;     ///< mean think time of this load point
+  LoadResult load;
+  SchemeWriteCost cost;      ///< calibrated flips of this scheme
+  double write_pj = 0.0;     ///< energy per array write at those flips
+};
+
+/// Runs every (scheme, think point) cell; rows are ordered scheme-major in
+/// config order. Deterministic for a fixed config regardless of `jobs`.
+[[nodiscard]] std::vector<SweepCell> run_saturation_sweep(
+    const SweepConfig& config);
+
+/// Console/CSV table: one row per cell with load, tail, and energy columns.
+[[nodiscard]] TextTable sweep_table(const std::vector<SweepCell>& cells);
+
+/// Serializes the sweep to JSON, including a trade-off block comparing each
+/// scheme's saturation-point p99 and write energy against the first
+/// (baseline) scheme. Throws std::runtime_error when unwritable.
+void write_sweep_json(const std::string& path, const SweepConfig& config,
+                      const std::vector<SweepCell>& cells);
+
+}  // namespace nvmenc

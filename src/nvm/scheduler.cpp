@@ -1,7 +1,5 @@
 #include "nvm/scheduler.hpp"
 
-#include <algorithm>
-
 namespace nvmenc {
 
 WriteQueueScheduler::WriteQueueScheduler(SchedulerConfig config)
@@ -14,6 +12,7 @@ double WriteQueueScheduler::drain_to(usize target, double now_ns) {
   while (queue_.size() > target) {
     const u64 addr = queue_.front();
     queue_.pop_front();
+    queued_lines_.erase(addr);
     last = timing_.access(addr, MemOp::kWrite, last);
   }
   return last;
@@ -22,23 +21,27 @@ double WriteQueueScheduler::drain_to(usize target, double now_ns) {
 double WriteQueueScheduler::read(u64 line_addr, double now_ns) {
   ++stats_.reads;
   // Forward from the write queue when the line is still buffered.
-  if (std::find(queue_.begin(), queue_.end(), line_addr) != queue_.end()) {
+  if (queued_lines_.contains(line_addr)) {
     ++stats_.forwarded_reads;
     stats_.read_latency_ns.add(0.0);
+    stats_.read_latency_hist.add(0.0);
     return now_ns;  // on-chip forward, no array access
   }
   const double done = timing_.access(line_addr, MemOp::kRead, now_ns);
   stats_.read_latency_ns.add(done - now_ns);
+  stats_.read_latency_hist.add(done - now_ns);
   return done;
 }
 
 void WriteQueueScheduler::write(u64 line_addr, double now_ns) {
   ++stats_.writes;
   // Coalesce a re-write of a queued line.
-  if (std::find(queue_.begin(), queue_.end(), line_addr) != queue_.end()) {
+  if (queued_lines_.contains(line_addr)) {
+    ++stats_.coalesced_writes;
     return;
   }
   queue_.push_back(line_addr);
+  queued_lines_.insert(line_addr);
   if (queue_.size() >= config_.high_watermark) {
     ++stats_.drains;
     (void)drain_to(config_.low_watermark, now_ns);

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <deque>
+#include <unordered_set>
 
 #include "nvm/timing.hpp"
 
@@ -41,9 +42,11 @@ struct SchedulerConfig {
 struct SchedulerStats {
   u64 reads = 0;
   u64 writes = 0;
-  u64 forwarded_reads = 0;  ///< served from the write queue
-  u64 drains = 0;           ///< high-watermark drain episodes
+  u64 forwarded_reads = 0;   ///< served from the write queue
+  u64 coalesced_writes = 0;  ///< re-writes absorbed by a queued entry
+  u64 drains = 0;            ///< high-watermark drain episodes
   RunningStat read_latency_ns;
+  LatencyHistogram read_latency_hist;  ///< same samples, tail percentiles
 
   [[nodiscard]] double avg_read_latency_ns() const noexcept {
     return read_latency_ns.mean();
@@ -80,6 +83,9 @@ class WriteQueueScheduler {
   SchedulerConfig config_;
   MemoryTimingModel timing_;
   std::deque<u64> queue_;
+  /// Membership index over `queue_` so the forward/coalesce checks in
+  /// read()/write() are O(1) instead of scanning the deque.
+  std::unordered_set<u64> queued_lines_;
   SchedulerStats stats_;
 };
 

@@ -58,9 +58,11 @@ double MemoryTimingModel::access(u64 line_addr, MemOp op,
   if (op == MemOp::kRead) {
     ++stats_.reads;
     stats_.read_latency_ns.add(latency);
+    stats_.read_latency_hist.add(latency);
   } else {
     ++stats_.writes;
     stats_.write_latency_ns.add(latency);
+    stats_.write_latency_hist.add(latency);
   }
   return completion;
 }
@@ -69,6 +71,13 @@ double MemoryTimingModel::bank_free_at(usize channel, usize bank) const {
   require(channel < org_.channels && bank < org_.ranks * org_.banks,
           "bank index out of range");
   return banks_[channel * org_.ranks * org_.banks + bank].free_at;
+}
+
+bool MemoryTimingModel::row_open(usize channel, usize bank, u64 row) const {
+  require(channel < org_.channels && bank < org_.ranks * org_.banks,
+          "bank index out of range");
+  const BankState& state = banks_[channel * org_.ranks * org_.banks + bank];
+  return state.row_valid && state.open_row == row;
 }
 
 }  // namespace nvmenc

@@ -58,6 +58,8 @@ struct TimingStats {
   u64 row_misses = 0;
   RunningStat read_latency_ns;   ///< arrival -> data returned
   RunningStat write_latency_ns;  ///< arrival -> cells committed
+  LatencyHistogram read_latency_hist;   ///< same samples, tail percentiles
+  LatencyHistogram write_latency_hist;
 
   [[nodiscard]] double row_hit_rate() const noexcept {
     const u64 total = row_hits + row_misses;
@@ -83,8 +85,12 @@ class MemoryTimingModel {
   [[nodiscard]] const TimingStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const MemOrg& org() const noexcept { return org_; }
 
-  /// Earliest time the named bank is free (for tests).
+  /// Earliest time the named bank is free (for tests and schedulers).
   [[nodiscard]] double bank_free_at(usize channel, usize bank) const;
+
+  /// True when the bank's row buffer currently holds `row` — the FR-FCFS
+  /// row-hit test an external arbiter needs to prefer open-row requests.
+  [[nodiscard]] bool row_open(usize channel, usize bank, u64 row) const;
 
  private:
   struct BankState {

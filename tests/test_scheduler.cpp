@@ -98,5 +98,58 @@ TEST(Scheduler, CoalescingAndForwardingPayOffOnHotWrites) {
   EXPECT_LT(b.total_ns, a.total_ns);                // less array work
 }
 
+TEST(Scheduler, WatermarkEdgesValidate) {
+  SchedulerConfig c = small_config();
+  c.high_watermark = c.write_queue_capacity;  // edge: high == capacity
+  EXPECT_NO_THROW(c.validate());
+  c.low_watermark = 0;  // edge: drain runs the queue dry
+  EXPECT_NO_THROW(c.validate());
+  WriteQueueScheduler s{c};
+  for (u64 i = 0; i < c.write_queue_capacity; ++i) {
+    s.write(i * kLineBytes, 0.0);
+  }
+  EXPECT_EQ(s.stats().drains, 1u);  // only a full queue triggers it
+  EXPECT_EQ(s.queue_depth(), 0u);   // and it drains everything
+  EXPECT_EQ(s.timing().stats().writes, c.write_queue_capacity);
+}
+
+TEST(Scheduler, CountsCoalescedWrites) {
+  WriteQueueScheduler s{small_config()};
+  s.write(0x40, 0.0);
+  s.write(0x40, 1.0);
+  s.write(0x80, 2.0);
+  s.write(0x40, 3.0);
+  EXPECT_EQ(s.stats().writes, 4u);
+  EXPECT_EQ(s.stats().coalesced_writes, 2u);
+  EXPECT_EQ(s.queue_depth(), 2u);
+}
+
+TEST(Scheduler, MembershipClearedAfterDrain) {
+  WriteQueueScheduler s{small_config()};
+  s.write(0x40, 0.0);
+  (void)s.drain_all(0.0);
+  EXPECT_EQ(s.queue_depth(), 0u);
+  // The drained line is no longer forwardable: the read goes to the array.
+  const double done = s.read(0x40, 1000.0);
+  EXPECT_EQ(s.stats().forwarded_reads, 0u);
+  EXPECT_GT(done, 1000.0);
+  // And a re-write of it is a fresh queue entry, not a coalesce.
+  s.write(0x40, 2000.0);
+  EXPECT_EQ(s.stats().coalesced_writes, 0u);
+  EXPECT_EQ(s.queue_depth(), 1u);
+}
+
+TEST(Scheduler, ReadHistogramMatchesRunningStat) {
+  WriteQueueScheduler s{small_config()};
+  double t = 0.0;
+  for (u64 i = 0; i < 40; ++i) {
+    if (i % 4 == 0) s.write(i * kLineBytes, t);
+    t = s.read((i % 8) * kLineBytes, t) + 10.0;
+  }
+  const SchedulerStats& st = s.stats();
+  EXPECT_EQ(st.read_latency_hist.count(), st.reads);
+  EXPECT_NEAR(st.read_latency_hist.mean(), st.read_latency_ns.mean(), 1e-9);
+}
+
 }  // namespace
 }  // namespace nvmenc

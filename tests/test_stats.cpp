@@ -96,5 +96,80 @@ TEST(Mean, KnownValues) {
   EXPECT_THROW((void)mean({}), std::invalid_argument);
 }
 
+TEST(LatencyHistogram, Empty) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.p50(), 0.0);
+  EXPECT_EQ(h.p999(), 0.0);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (double v = 1.0; v <= 10.0; v += 1.0) h.add(v);
+  // Values below 16 land in unit-wide buckets: nearest-rank percentiles
+  // are exact.
+  EXPECT_DOUBLE_EQ(h.p50(), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.5);
+}
+
+TEST(LatencyHistogram, ConstantStreamReportsExactlyAtAllPercentiles) {
+  LatencyHistogram h;
+  for (int i = 0; i < 500; ++i) h.add(777.0);
+  // Bucket midpoints are clamped into [min, max], so a constant stream
+  // reports its value exactly everywhere.
+  EXPECT_DOUBLE_EQ(h.p50(), 777.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 777.0);
+  EXPECT_DOUBLE_EQ(h.p999(), 777.0);
+}
+
+TEST(LatencyHistogram, LogBucketRelativeErrorIsBounded) {
+  LatencyHistogram h;
+  const double value = 1.0e6;
+  for (int i = 0; i < 100; ++i) h.add(value);
+  h.add(2.0e6);  // keep max above the bucket so the clamp can't hide error
+  // 16 sub-buckets per power of two: <= 1/16 relative error.
+  EXPECT_NEAR(h.p50(), value, value / 16.0);
+}
+
+TEST(LatencyHistogram, TailPercentilesSeparate) {
+  LatencyHistogram h;
+  for (int i = 0; i < 990; ++i) h.add(100.0);
+  for (int i = 0; i < 10; ++i) h.add(100'000.0);
+  EXPECT_NEAR(h.p50(), 100.0, 100.0 / 16.0);
+  EXPECT_NEAR(h.p999(), 100'000.0, 100'000.0 / 16.0);
+  EXPECT_LT(h.p50() * 100, h.p999());
+}
+
+TEST(LatencyHistogram, MergeCombines) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (double v = 1.0; v <= 5.0; v += 1.0) a.add(v);
+  for (double v = 6.0; v <= 10.0; v += 1.0) b.add(v);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 10u);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 10.0);
+  EXPECT_DOUBLE_EQ(a.p50(), 5.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.5);
+  // Merging an empty histogram changes nothing.
+  a.merge(LatencyHistogram{});
+  EXPECT_EQ(a.count(), 10u);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+}
+
+TEST(LatencyHistogram, NegativeInputsClampToZero) {
+  LatencyHistogram h;
+  h.add(-5.0);
+  h.add(3.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+}
+
 }  // namespace
 }  // namespace nvmenc

@@ -148,5 +148,59 @@ TEST(PerfReplay, EmptyStream) {
   EXPECT_EQ(r.timing.reads, 0u);
 }
 
+TEST(Timing, DecomposeRoundTripsAcrossChannels) {
+  MemOrg org = simple_org();
+  org.channels = 3;
+  org.ranks = 2;
+  org.banks = 4;
+  MemoryTimingModel model{org};
+  const usize banks_per_channel = org.ranks * org.banks;
+  for (u64 line = 0; line < 5000; ++line) {
+    const u64 addr = line * kLineBytes;
+    const BankAddress where = model.decompose(addr);
+    ASSERT_LT(where.channel, org.channels);
+    ASSERT_LT(where.bank, banks_per_channel);
+    // Reconstruct the row id from its (channel, bank, row) digits: the
+    // mapping must be a bijection on row ids.
+    const u64 row_id = addr / org.row_bytes;
+    const u64 rebuilt =
+        (where.row * banks_per_channel + where.bank) * org.channels +
+        where.channel;
+    EXPECT_EQ(rebuilt, row_id);
+    // Lines within one row land on the same bank.
+    EXPECT_EQ(model.decompose(addr + kLineBytes - 1).bank, where.bank);
+  }
+}
+
+TEST(Timing, RowOpenTracksTheRowBuffer) {
+  MemoryTimingModel model{simple_org()};
+  const BankAddress where = model.decompose(0);
+  EXPECT_FALSE(model.row_open(where.channel, where.bank, where.row));
+  (void)model.access(0, MemOp::kRead, 0.0);
+  EXPECT_TRUE(model.row_open(where.channel, where.bank, where.row));
+  EXPECT_FALSE(model.row_open(where.channel, where.bank, where.row + 1));
+  // A different row on the same bank evicts the open row.
+  const u64 far = 2 * 4096;  // rows interleave: same bank, next row
+  const BankAddress where2 = model.decompose(far);
+  ASSERT_EQ(where2.bank, where.bank);
+  (void)model.access(far, MemOp::kRead, 1000.0);
+  EXPECT_FALSE(model.row_open(where.channel, where.bank, where.row));
+  EXPECT_TRUE(model.row_open(where2.channel, where2.bank, where2.row));
+  EXPECT_THROW((void)model.row_open(9, 0, 0), std::invalid_argument);
+}
+
+TEST(Timing, HistogramsTrackLatencySamples) {
+  MemoryTimingModel model{simple_org()};
+  for (u64 i = 0; i < 50; ++i) {
+    (void)model.access(i * kLineBytes, i % 2 ? MemOp::kRead : MemOp::kWrite,
+                       static_cast<double>(i) * 400.0);
+  }
+  const TimingStats& s = model.stats();
+  EXPECT_EQ(s.read_latency_hist.count(), s.reads);
+  EXPECT_EQ(s.write_latency_hist.count(), s.writes);
+  EXPECT_NEAR(s.read_latency_hist.mean(), s.read_latency_ns.mean(), 1e-9);
+  EXPECT_GE(s.read_latency_hist.p99(), s.read_latency_hist.p50());
+}
+
 }  // namespace
 }  // namespace nvmenc

@@ -15,6 +15,10 @@
 //       caches and the chosen encoder; prints controller statistics.
 //   nvmenc perf --benchmark=gcc [--accesses=N] [--encode-ns=X] [--sched]
 //       Timing replay through the banked memory model.
+//   nvmenc loadgen --scheme=READ+SAE [--pattern=zipfian] [--users=N]
+//              [--think-ns=X] [--requests=N] [--encode-model=paper]
+//       Closed-loop load generation against the multi-channel memory
+//       system; prints throughput and read-latency tail percentiles.
 #include <chrono>
 #include <csignal>
 #include <iostream>
@@ -22,6 +26,8 @@
 
 #include "common/cancel.hpp"
 #include "common/table.hpp"
+#include "memsys/encode_cost.hpp"
+#include "memsys/loadgen.hpp"
 #include "runner/parallel_runner.hpp"
 #include "sim/experiment.hpp"
 #include "sim/perf.hpp"
@@ -62,6 +68,15 @@ struct Args {
   std::string checkpoint_dir;
   usize checkpoint_every = 1;
   bool resume = false;
+  // Load-generation knobs (loadgen).
+  std::string pattern = "zipfian";
+  std::string encode_model = "paper";
+  usize users = 32;
+  double think_ns = 200.0;
+  double read_fraction = 0.7;
+  u64 requests = 100'000;
+  u64 footprint = u64{1} << 18;
+  usize channels = 2;
 };
 
 /// Set by the SIGINT/SIGTERM handler; the matrix polls it at write-back
@@ -73,7 +88,8 @@ void handle_stop_signal(int) { g_cancel.request_stop(); }
 
 [[noreturn]] void usage() {
   std::cerr <<
-      "usage: nvmenc <list|run|matrix|trace> [options]\n"
+      "usage: nvmenc <list|run|matrix|trace|replay|perf|loadgen> "
+      "[options]\n"
       "  run:    --benchmark=NAME --scheme=NAME [--accesses=N] [--seed=S]\n"
       "  matrix: [--benchmarks=a,b] [--schemes=x,y] [--csv=dir] [--jobs=N]\n"
       "          (--jobs=0, the default, uses every hardware thread;\n"
@@ -93,7 +109,11 @@ void handle_stop_signal(int) { g_cancel.request_stop(); }
       "          [--format=bin|text]\n"
       "  replay: --in=FILE --scheme=NAME [--format=bin|text]\n"
       "  perf:   --benchmark=NAME [--accesses=N] [--encode-ns=X] "
-      "[--sched]\n";
+      "[--sched]\n"
+      "  loadgen: --scheme=NAME [--pattern=uniform|zipfian|diurnal]\n"
+      "          [--users=N] [--think-ns=X] [--read-fraction=F]\n"
+      "          [--requests=N] [--footprint=LINES] [--channels=N]\n"
+      "          [--encode-model=none|paper|measured] [--seed=S]\n";
   std::exit(2);
 }
 
@@ -130,6 +150,15 @@ Args parse(int argc, char** argv) {
     else if (auto vf = value("checkpoint-dir")) args.checkpoint_dir = *vf;
     else if (auto vg = value("checkpoint-every"))
       args.checkpoint_every = std::stoull(*vg);
+    else if (auto vh = value("pattern")) args.pattern = *vh;
+    else if (auto vi = value("encode-model")) args.encode_model = *vi;
+    else if (auto vj = value("users")) args.users = std::stoull(*vj);
+    else if (auto vk = value("think-ns")) args.think_ns = std::stod(*vk);
+    else if (auto vl = value("read-fraction"))
+      args.read_fraction = std::stod(*vl);
+    else if (auto vm = value("requests")) args.requests = std::stoull(*vm);
+    else if (auto vn = value("footprint")) args.footprint = std::stoull(*vn);
+    else if (auto vo = value("channels")) args.channels = std::stoull(*vo);
     else if (arg == "--protect-meta") args.protect_meta = true;
     else if (arg == "--atomic-writes") args.atomic_writes = true;
     else if (arg == "--resume") args.resume = true;
@@ -408,6 +437,58 @@ int cmd_perf(const Args& args) {
   return 0;
 }
 
+int cmd_loadgen(const Args& args) {
+  const Scheme scheme = scheme_by_name(args.scheme);
+  if (is_paper_model(scheme)) {
+    std::cerr << "paper-model schemes cannot serve traffic; pick a "
+                 "hardware-faithful scheme\n";
+    return 2;
+  }
+  const EncodeLatencyModel model = encode_model_by_name(args.encode_model);
+
+  LoadGenConfig load;
+  load.pattern = load_pattern_by_name(args.pattern);
+  load.users = args.users;
+  load.think_ns = args.think_ns;
+  load.read_fraction = args.read_fraction;
+  load.requests = args.requests;
+  load.footprint_lines = args.footprint;
+  load.seed = args.seed;
+
+  MemSysConfig mem;
+  mem.org.channels = args.channels;
+  mem.org.encode_latency_ns = encode_latency_ns(scheme, model);
+
+  const LoadResult r = run_load(load, mem);
+  const MemSysStats& s = r.stats;
+  const LatencyHistogram& h = s.read_latency_ns;
+
+  TextTable table{{"metric", "value"}};
+  table.add_row({"scheme", scheme_name(scheme)});
+  table.add_row({"encode model", encode_model_name(model)});
+  table.add_row({"encode latency (ns)",
+                 TextTable::fmt(mem.org.encode_latency_ns, 2)});
+  table.add_row({"pattern", load_pattern_name(load.pattern)});
+  table.add_row({"users / think (ns)",
+                 std::to_string(load.users) + " / " +
+                     TextTable::fmt(load.think_ns, 0)});
+  table.add_row({"requests", std::to_string(s.reads + s.writes)});
+  table.add_row({"forwarded reads", std::to_string(s.forwarded_reads)});
+  table.add_row({"coalesced writes", std::to_string(s.coalesced_writes)});
+  table.add_row({"write stalls", std::to_string(s.write_stalls)});
+  table.add_row({"drain episodes", std::to_string(s.drains)});
+  table.add_row({"row hit rate", TextTable::fmt(r.timing.row_hit_rate(), 3)});
+  table.add_row({"sustained GB/s", TextTable::fmt(s.sustained_gbps(), 3)});
+  table.add_row({"read latency mean (ns)", TextTable::fmt(h.mean(), 1)});
+  table.add_row({"read latency p50 (ns)", TextTable::fmt(h.p50(), 0)});
+  table.add_row({"read latency p95 (ns)", TextTable::fmt(h.p95(), 0)});
+  table.add_row({"read latency p99 (ns)", TextTable::fmt(h.p99(), 0)});
+  table.add_row({"read latency p99.9 (ns)", TextTable::fmt(h.p999(), 0)});
+  table.add_row({"makespan (ms)", TextTable::fmt(r.makespan_ns / 1e6, 3)});
+  table.print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -419,6 +500,7 @@ int main(int argc, char** argv) {
     if (args.command == "trace") return cmd_trace(args);
     if (args.command == "replay") return cmd_replay(args);
     if (args.command == "perf") return cmd_perf(args);
+    if (args.command == "loadgen") return cmd_loadgen(args);
     std::cerr << "unknown command '" << args.command << "'\n";
     usage();
   } catch (const std::exception& e) {
