@@ -1,0 +1,228 @@
+// Perf-regression gate for the SIMD encode kernels.
+//
+// Measures READ+SAE encode cost twice in one process: on the host's best
+// SIMD tier and on the forced-scalar oracle (AdaptiveConfig::simd). The
+// gate metric is the RATIO vector_ns / scalar_ns, not an absolute time:
+// the scalar path runs on the same machine under the same load, so the
+// ratio survives CI-runner heterogeneity that would make a wall-clock
+// threshold flap. A kernel regression that slows only the vector path
+// raises the ratio; one that slows both paths equally is a build-wide
+// problem other benchmarks catch.
+//
+// The committed baseline lives in results/PERF_GATE_encoder.json as
+// {"baseline_ratio": R} — the centered minimum-estimator ratio measured
+// on the reference machine. The gate fails (exit 1) when the measured
+// ratio exceeds R * (1 + headroom). Headroom is 5%: natural run-to-run
+// spread of the interleaved minimum estimator is under ±2%, so 5% never
+// fires on noise, and any slowdown past it — in particular the 10% the
+// acceptance bar names — is rejected with margin on both sides. Set
+// NVMENC_GATE_INJECT=P to inflate the measured vector time by P percent —
+// the CI self-test that proves the gate actually rejects a slowdown (see
+// ci.yml perf-gate job).
+//
+//   encoder_gate [--baseline=results/PERF_GATE_encoder.json]
+//                [--writes=N] [--reps=R] [--print-ratio]
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/read_sae.hpp"
+#include "core/simd.hpp"
+
+namespace nvmenc {
+namespace {
+
+std::vector<CacheLine> make_stream(usize n, u64 seed) {
+  // Same value mix as bench/encoder_throughput: zero, small-int and
+  // random words, so dirty-word counts span the granularity levels.
+  Xoshiro256 rng{seed};
+  std::vector<CacheLine> lines;
+  lines.reserve(n);
+  for (usize i = 0; i < n; ++i) {
+    CacheLine line;
+    for (usize w = 0; w < kWordsPerLine; ++w) {
+      switch (rng.next_below(4)) {
+        case 0: break;
+        case 1: line.set_word(w, rng.next() & 0xFFFF); break;
+        default: line.set_word(w, rng.next()); break;
+      }
+    }
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+/// One timed slice: `writes` encodes over a recycled stream, total ns.
+double time_encode_slice(const Encoder& enc,
+                         const std::vector<CacheLine>& stream, usize writes,
+                         usize phase) {
+  StoredLine stored = enc.make_stored(stream[phase % stream.size()]);
+  usize flips = 0;  // data dependency so the loop cannot be elided
+  const auto start = std::chrono::steady_clock::now();
+  for (usize i = 0; i < writes; ++i) {
+    flips += enc.encode(stored, stream[(phase + i) % stream.size()]).total();
+  }
+  const auto end = std::chrono::steady_clock::now();
+  if (flips == usize(-1)) std::abort();
+  return std::chrono::duration<double, std::nano>(end - start).count();
+}
+
+struct Measurement {
+  double scalar_ns = 0.0;  ///< ns per line
+  double vector_ns = 0.0;
+};
+
+/// The two tiers are timed in SLICES a few milliseconds long, strictly
+/// alternating (S V S V …) within every repetition, so a load spike or
+/// frequency dip on a busy CI runner lands on both tiers almost equally
+/// and cancels out of the ratio — the quantity the gate judges. Each
+/// repetition yields one (scalar, vector) pair; the gate uses the
+/// repetition with the fastest combined time (the minimum is the classic
+/// low-noise estimator: interference only ever adds time).
+Measurement measure(usize writes, usize reps) {
+  AdaptiveConfig scalar_config;
+  scalar_config.simd = SimdTier::kScalar;
+  AdaptiveConfig vector_config;
+  vector_config.simd = detect_simd_tier();
+  const ReadSaeEncoder scalar_enc{scalar_config};
+  const ReadSaeEncoder vector_enc{vector_config};
+  const std::vector<CacheLine> stream = make_stream(4096, 99);
+
+  constexpr usize kSlices = 16;
+  const usize slice = writes / kSlices + 1;
+
+  // Warm-up (page-in, branch predictors, frequency governor).
+  (void)time_encode_slice(scalar_enc, stream, slice, 0);
+  (void)time_encode_slice(vector_enc, stream, slice, 0);
+
+  Measurement best{1e300, 1e300};
+  for (usize r = 0; r < reps; ++r) {
+    double scalar_total = 0.0;
+    double vector_total = 0.0;
+    for (usize s = 0; s < kSlices; ++s) {
+      scalar_total += time_encode_slice(scalar_enc, stream, slice, s * slice);
+      vector_total += time_encode_slice(vector_enc, stream, slice, s * slice);
+    }
+    if (scalar_total + vector_total < best.scalar_ns + best.vector_ns) {
+      best.scalar_ns = scalar_total;
+      best.vector_ns = vector_total;
+    }
+  }
+  const double n = static_cast<double>(kSlices) * static_cast<double>(slice);
+  return {best.scalar_ns / n, best.vector_ns / n};
+}
+
+/// Minimal extraction of `"key": <number>` from a JSON file; the baseline
+/// file is flat and committed, so a full parser would be dead weight.
+double json_number(const std::string& path, const std::string& key) {
+  std::ifstream in{path};
+  if (!in) {
+    throw std::runtime_error{"cannot open baseline file " + path};
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  const std::string quoted = "\"" + key + "\"";
+  const auto at = text.find(quoted);
+  if (at == std::string::npos) {
+    throw std::runtime_error{"baseline file " + path + " has no key " +
+                             quoted};
+  }
+  const auto colon = text.find(':', at);
+  if (colon == std::string::npos) {
+    throw std::runtime_error{"baseline file " + path + ": malformed " +
+                             quoted};
+  }
+  return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+int run_gate(int argc, char** argv) {
+  std::string baseline_path = "results/PERF_GATE_encoder.json";
+  usize writes = 50'000;
+  usize reps = 5;
+  bool print_ratio = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const std::string& k) -> std::optional<std::string> {
+      const std::string prefix = "--" + k + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (auto v = value("baseline")) baseline_path = *v;
+    else if (auto v2 = value("writes")) writes = std::stoull(*v2);
+    else if (auto v3 = value("reps")) reps = std::stoull(*v3);
+    else if (arg == "--print-ratio") print_ratio = true;
+    else {
+      std::cerr << "usage: encoder_gate [--baseline=FILE] [--writes=N] "
+                   "[--reps=R] [--print-ratio]\n";
+      return 2;
+    }
+  }
+
+  if (detect_simd_tier() == SimdTier::kScalar) {
+    // Nothing to gate: scalar vs scalar is 1.0 by construction.
+    std::cout << "encoder_gate: host has no vector tier; gate skipped\n";
+    return 0;
+  }
+
+  Measurement m = measure(writes, reps);
+  double injected_pct = 0.0;
+  if (const char* env = std::getenv("NVMENC_GATE_INJECT")) {
+    // Self-test hook: pretend the vector kernels got P percent slower.
+    injected_pct = std::strtod(env, nullptr);
+    m.vector_ns *= 1.0 + injected_pct / 100.0;
+  }
+  const double ratio = m.vector_ns / m.scalar_ns;
+  if (print_ratio) {
+    std::cout << TextTable::fmt(ratio, 4) << "\n";
+    return 0;
+  }
+
+  const double baseline = json_number(baseline_path, "baseline_ratio");
+  const double headroom = 0.05;
+  const double limit = baseline * (1.0 + headroom);
+  const bool pass = ratio <= limit;
+
+  TextTable table{{"metric", "value"}};
+  table.add_row({"tier", simd_tier_name(detect_simd_tier())});
+  table.add_row({"scalar encode (ns/line)", TextTable::fmt(m.scalar_ns, 1)});
+  table.add_row({"vector encode (ns/line)", TextTable::fmt(m.vector_ns, 1)});
+  table.add_row({"speedup", TextTable::fmt(m.scalar_ns / m.vector_ns, 2)});
+  table.add_row({"ratio (vector/scalar)", TextTable::fmt(ratio, 4)});
+  table.add_row({"baseline ratio", TextTable::fmt(baseline, 4)});
+  table.add_row({"limit (+5% headroom)", TextTable::fmt(limit, 4)});
+  if (injected_pct != 0.0) {
+    table.add_row({"injected slowdown (%)", TextTable::fmt(injected_pct, 1)});
+  }
+  table.add_row({"verdict", pass ? "PASS" : "FAIL"});
+  table.print(std::cout);
+  if (!pass) {
+    std::cerr << "encoder_gate: vector/scalar ratio "
+              << TextTable::fmt(ratio, 4) << " exceeds "
+              << TextTable::fmt(limit, 4)
+              << " — the SIMD encode path regressed against its in-process "
+                 "scalar anchor\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace nvmenc
+
+int main(int argc, char** argv) {
+  try {
+    return nvmenc::run_gate(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "encoder_gate: " << e.what() << "\n";
+    return 2;
+  }
+}

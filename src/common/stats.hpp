@@ -38,6 +38,9 @@ class RunningStat {
     return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
   }
 
+  /// Exact state equality — the determinism tests' "bit-identical" check.
+  [[nodiscard]] bool operator==(const RunningStat&) const = default;
+
  private:
   u64 count_ = 0;
   double mean_ = 0.0;
@@ -128,6 +131,10 @@ class LatencyHistogram {
   [[nodiscard]] double p95() const noexcept { return percentile(95.0); }
   [[nodiscard]] double p99() const noexcept { return percentile(99.0); }
   [[nodiscard]] double p999() const noexcept { return percentile(99.9); }
+
+  /// Exact state equality, bucket for bucket — the determinism tests'
+  /// "bit-identical" check for whole latency distributions.
+  [[nodiscard]] bool operator==(const LatencyHistogram&) const = default;
 
  private:
   static constexpr usize kSubBits = 4;

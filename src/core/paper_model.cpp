@@ -72,6 +72,8 @@ FlipBreakdown PaperModelAfnw::write(PaperModelAfnwState& state,
 PaperModelReadSae::PaperModelReadSae(AdaptiveConfig config)
     : config_{config} {
   config_.validate();
+  tier_ = config_.simd.value_or(default_simd_tier());
+  if (tier_ > detect_simd_tier()) tier_ = detect_simd_tier();
 }
 
 usize PaperModelReadSae::meta_bits() const noexcept {
@@ -98,10 +100,8 @@ FlipBreakdown PaperModelReadSae::write(PaperModelLineState& state,
   // computed in one pass; coarser levels are pairwise sums.
   const usize seg0 = total_bits / config_.tag_budget;
   std::array<u32, kWordBits> h0{};
-  for (usize s = 0; s < config_.tag_budget; ++s) {
-    h0[s] = static_cast<u32>(
-        old_bits.hamming_range_unchecked(new_bits, s * seg0, seg0));
-  }
+  segment_hamming(old_bits.words(), new_bits.words(), config_.tag_budget,
+                  seg0, h0.data(), tier_);
 
   usize best_f = 0;
   usize best_cost = ~usize{0};

@@ -77,6 +77,7 @@ class PaperModelReadSae {
 
  private:
   AdaptiveConfig config_;
+  SimdTier tier_ = SimdTier::kScalar;
 };
 
 }  // namespace nvmenc

@@ -2,23 +2,27 @@
 
 #include <array>
 
+#include "common/bitops.hpp"
 #include "common/error.hpp"
-#include "core/line_gather.hpp"
 
-// Encode kernel (DESIGN.md §5, "software encode kernel"). The paper's
-// hardware evaluates all four SAE granularities in parallel from ONE
-// shared popcount tree (§3.2, Fig. 7); this file mirrors that structure in
-// software. Per candidate mask the dirty words are gathered ONCE, the
-// per-segment Hamming distances are computed only at the FINEST
-// granularity (the tree's leaves), and every coarser level is derived by
-// pairwise addition up the adder tree — one scan over the covered bits
-// plus O(tags) additions, instead of one full scan per (mask, granularity)
-// candidate. The winning plan is applied from the same leaf costs, and the
-// old logical line is reconstructed without a full decode() when the
-// stored image carries no set tags. Plan-selection order (candidate masks
-// first-considered-wins, granularities finest to coarsest, strict '<')
-// matches the pre-kernel implementation bit for bit; the differential
-// suite in tests/test_read_sae_differential.cpp holds it to that.
+// Encode kernel (DESIGN.md §5, "software encode kernel"; §9, SIMD tiers).
+// The paper's hardware evaluates all four SAE granularities in parallel
+// from ONE shared popcount tree (§3.2, Fig. 7); this file mirrors that
+// structure in software. Per candidate mask the dirty words are XOR-packed
+// ONCE, the per-segment Hamming distances are computed only at the FINEST
+// granularity (the tree's leaves) by the segment_popcount kernel, and
+// every coarser level is derived by pairwise addition up the adder tree —
+// one scan over the covered bits plus O(tags) additions, instead of one
+// full scan per (mask, granularity) candidate. Per-level costs, flip
+// selection and the word-dirty mask run through the tier-dispatched
+// kernels in core/simd.{hpp,cpp}; the winning plan's flips are applied as
+// a dense flip mask XORed straight into the line words (no gather/scatter
+// round trip), and the old logical line is reconstructed the same way.
+// Plan-selection order (candidate masks first-considered-wins,
+// granularities finest to coarsest, strict '<') matches the pre-kernel
+// implementation bit for bit; the differential suite in
+// tests/test_read_sae_differential.cpp holds it to that, and
+// tests/test_simd_fuzz.cpp holds the vector tiers to the scalar one.
 
 namespace nvmenc {
 
@@ -36,8 +40,10 @@ void AdaptiveConfig::validate() const {
 struct ReadSaeEncoder::MaskEval {
   u8 mask = 0;
   usize total_bits = 0;
-  BitBuf new_bits;
-  BitBuf old_cells;
+  /// XOR of the stored and new images of the covered words, densely
+  /// packed in ascending word order — the vector the cost tree is built
+  /// over (and, later, the space the winning flip mask is built in).
+  std::array<u64, kWordsPerLine> xor_words{};
   /// Leaf level of the shared cost tree: Hamming distance of each
   /// finest-granularity segment (tag_budget of them, <= 64).
   std::array<u32, kWordBits> h0{};
@@ -46,6 +52,8 @@ struct ReadSaeEncoder::MaskEval {
 ReadSaeEncoder::ReadSaeEncoder(AdaptiveConfig config, std::string name)
     : config_{config}, name_{std::move(name)} {
   config_.validate();
+  tier_ = config_.simd.value_or(default_simd_tier());
+  if (tier_ > detect_simd_tier()) tier_ = detect_simd_tier();
   if (name_.empty()) {
     const bool sae = config_.granularity_levels > 1;
     name_ = config_.redundant_word_aware ? (sae ? "READ+SAE" : "READ")
@@ -82,51 +90,73 @@ usize ReadSaeEncoder::stored_rotation(const StoredLine& stored) const {
   return static_cast<usize>(binary);
 }
 
+u64 ReadSaeEncoder::rotated_window(u64 tag_state,
+                                   usize rotation) const noexcept {
+  const usize n = config_.tag_budget;
+  const u64 t = tag_state & low_mask(n);
+  rotation %= n;  // the 5-bit counter can exceed a narrow budget
+  if (rotation == 0) return t;
+  // Bit s of the window = bit (s + rotation) % n of the stored state.
+  return ((t >> rotation) | (t << (n - rotation))) & low_mask(n);
+}
+
 void ReadSaeEncoder::scan_mask(MaskEval& eval, const StoredLine& stored,
                                const CacheLine& new_line, u8 mask) const {
   eval.mask = mask;
   eval.total_bits = popcount(mask) * kWordBits;
-  eval.new_bits = gather_words(new_line, mask);
-  eval.old_cells = gather_words(stored.data, mask);
+  usize n = 0;
+  for (usize w = 0; w < kWordsPerLine; ++w) {
+    if ((mask >> w) & 1) {
+      eval.xor_words[n++] = stored.data.word(w) ^ new_line.word(w);
+    }
+  }
   ensure(eval.total_bits % config_.tag_budget == 0,
          "tag count must divide the covered bits");
   const usize seg0 = eval.total_bits / config_.tag_budget;
-  for (usize s = 0; s < config_.tag_budget; ++s) {
-    eval.h0[s] = static_cast<u32>(
-        eval.old_cells.hamming_range_unchecked(eval.new_bits, s * seg0, seg0));
-  }
+  segment_popcount({eval.xor_words.data(), n}, config_.tag_budget, seg0,
+                   eval.h0.data(), tier_);
 }
 
 /// Applies the chosen (mask, granularity) plan to the stored image. The
-/// per-segment costs come from the leaf level by group summation; the
-/// only bit-level work left is flipping the segments that choose
-/// inversion (word-inverts on the aligned fast path).
+/// per-segment costs come from the leaf level by pairwise summation (the
+/// same sums the adder tree produced during selection); the only bit-level
+/// work left is building the winning flip mask and XORing it into the
+/// covered words in one pass.
 void ReadSaeEncoder::apply_plan(StoredLine& stored, const MaskEval& eval,
-                                usize best_f, usize rotation) const {
+                                const CacheLine& new_line, usize best_f,
+                                usize rotation) const {
   const usize tags = config_.tag_budget >> best_f;
   const usize seg_bits = eval.total_bits / tags;
-  const usize group = usize{1} << best_f;
+  std::array<u32, kWordBits> h = eval.h0;
+  for (usize f = 0; f < best_f; ++f) {
+    const usize level = config_.tag_budget >> f;
+    for (usize s = 0; 2 * s + 1 < level; ++s) h[s] = h[2 * s] + h[2 * s + 1];
+  }
   // The whole tag window in one register; cells outside the used window
   // keep their stored values (no gratuitous flips).
   u64 tag_state = stored.meta.bits_unchecked(0, config_.tag_budget);
-  BitBuf encoded = eval.new_bits;
+  const u64 win = rotated_window(tag_state, rotation);
+  const u64 sel = segment_flip_select(h.data(), win, tags, seg_bits, tier_);
   for (usize s = 0; s < tags; ++s) {
-    usize plain_h = 0;
-    for (usize k = 0; k < group; ++k) plain_h += eval.h0[s * group + k];
     const usize cell = tag_cell(s, rotation);
-    const bool old_tag = (tag_state >> cell) & 1;
-    const usize cost_plain = plain_h + (old_tag ? 1 : 0);
-    const usize cost_flip = (seg_bits - plain_h) + (old_tag ? 0 : 1);
-    const bool flip = cost_flip < cost_plain;
-    if (flip) {
-      encoded.flip_range_unchecked(s * seg_bits, seg_bits);
+    if ((sel >> s) & 1) {
       tag_state |= u64{1} << cell;
     } else {
       tag_state &= ~(u64{1} << cell);
     }
   }
   stored.meta.set_bits(0, config_.tag_budget, tag_state);
-  scatter_words(stored.data, eval.mask, encoded);
+  // Flip mask in the dense packed space, then one pass writing the encoded
+  // words straight into the line — no gather/scatter round trip.
+  std::array<u64, kWordsPerLine> flips{};
+  flip_selected_segments({flips.data(), eval.total_bits / kWordBits}, sel,
+                         tags, seg_bits);
+  usize n = 0;
+  for (usize w = 0; w < kWordsPerLine; ++w) {
+    if ((eval.mask >> w) & 1) {
+      stored.data.set_word(w, new_line.word(w) ^ flips[n++]);
+    }
+  }
   if (config_.redundant_word_aware) {
     stored.meta.set_bits(dirty_flag_offset(), kDirtyFlagBits, eval.mask);
   }
@@ -149,7 +179,8 @@ void ReadSaeEncoder::encode_impl(StoredLine& stored,
   CacheLine old_logical;
   if (config_.redundant_word_aware) {
     old_logical = reconstruct_logical(stored, old_dirty);
-    changed = new_line.dirty_mask(old_logical);
+    changed = changed_words_mask(new_line.words().data(),
+                                 old_logical.words().data(), tier_);
     if (changed == 0) {
       // Silent write-back: the stored image already decodes to new_line.
       return;
@@ -203,21 +234,18 @@ void ReadSaeEncoder::encode_impl(StoredLine& stored,
 
   // Evaluate every granularity from the shared leaves: cost of level f,
   // then pairwise-reduce the segment Hamming distances for level f + 1 —
-  // the software image of the paper's adder tree.
+  // the software image of the paper's adder tree. The per-level cost sum
+  // is the tier-dispatched segment_min_cost kernel over the rotated tag
+  // window (bit s of `win` = stored value of tag_cell(s, rotation)).
   const u64 tag_state = stored.meta.bits_unchecked(0, config_.tag_budget);
+  const u64 win = rotated_window(tag_state, rotation);
   auto consider = [&](const MaskEval& e, bool normalize, usize extra) {
     std::array<u32, kWordBits> h = e.h0;
     for (usize f = 0; f < config_.granularity_levels; ++f) {
       const usize tags = config_.tag_budget >> f;
       const usize seg_bits = e.total_bits / tags;
-      usize cost = extra;
-      for (usize s = 0; s < tags; ++s) {
-        const usize plain_h = h[s];
-        const bool old_tag = (tag_state >> tag_cell(s, rotation)) & 1;
-        const usize cost_plain = plain_h + (old_tag ? 1 : 0);
-        const usize cost_flip = (seg_bits - plain_h) + (old_tag ? 0 : 1);
-        cost += cost_plain < cost_flip ? cost_plain : cost_flip;
-      }
+      usize cost =
+          extra + segment_min_cost(h.data(), win, tags, seg_bits, tier_);
       if (config_.granularity_levels > 1) {
         cost += hamming(static_cast<u64>(old_gran), static_cast<u64>(f));
       }
@@ -241,7 +269,7 @@ void ReadSaeEncoder::encode_impl(StoredLine& stored,
       }
     }
   }
-  apply_plan(stored, *best.eval, best.f, rotation);
+  apply_plan(stored, *best.eval, new_line, best.f, rotation);
 }
 
 CacheLine ReadSaeEncoder::reconstruct_logical(const StoredLine& stored,
@@ -255,22 +283,23 @@ CacheLine ReadSaeEncoder::reconstruct_logical(const StoredLine& stored,
   const usize seg_bits = total_bits / tags;
   const usize rotation = stored_rotation(stored);
   const u64 tag_state = stored.meta.bits_unchecked(0, config_.tag_budget);
+  const u64 sel = rotated_window(tag_state, rotation) & low_mask(tags);
 
   // No set tag in the used window: the dirty words are stored plaintext,
-  // so the copied image already is the logical line — skip the gather.
-  bool any_tag = false;
-  for (usize s = 0; s < tags && !any_tag; ++s) {
-    any_tag = (tag_state >> tag_cell(s, rotation)) & 1;
-  }
-  if (!any_tag) return line;
+  // so the copied image already is the logical line — skip the flips.
+  if (sel == 0) return line;
 
-  BitBuf bits = gather_words(stored.data, dirty);
-  for (usize s = 0; s < tags; ++s) {
-    if ((tag_state >> tag_cell(s, rotation)) & 1) {
-      bits.flip_range_unchecked(s * seg_bits, seg_bits);
+  // Flip mask in the dense packed space, XORed into the dirty words in
+  // one pass — reconstruction without a gather/scatter round trip.
+  std::array<u64, kWordsPerLine> flips{};
+  flip_selected_segments({flips.data(), total_bits / kWordBits}, sel, tags,
+                         seg_bits);
+  usize n = 0;
+  for (usize w = 0; w < kWordsPerLine; ++w) {
+    if ((dirty >> w) & 1) {
+      line.set_word(w, line.word(w) ^ flips[n++]);
     }
   }
-  scatter_words(line, dirty, bits);
   return line;
 }
 

@@ -25,6 +25,9 @@
 // quantifies the impact.
 #pragma once
 
+#include <optional>
+
+#include "core/simd.hpp"
 #include "encoding/encoder.hpp"
 
 namespace nvmenc {
@@ -44,6 +47,12 @@ struct AdaptiveConfig {
   /// and spreads tag-cell wear across the whole budget — the fix for the
   /// metadata-wear concentration measured in bench/ablation_meta_wear.
   bool rotate_tags = false;
+  /// SIMD tier for the shared-cost kernels. Unset (the default) captures
+  /// the process default (default_simd_tier()) at construction; set it to
+  /// run scalar and vector encoders side by side in one process (the
+  /// differential fuzz harness does). Requests above the host's capability
+  /// are capped to the best available tier. Every tier is bit-identical.
+  std::optional<SimdTier> simd{};
 
   void validate() const;
 };
@@ -64,6 +73,10 @@ class ReadSaeEncoder final : public Encoder {
   [[nodiscard]] const AdaptiveConfig& config() const noexcept {
     return config_;
   }
+
+  /// The SIMD tier this encoder's kernels actually run on (the config
+  /// request resolved against the host at construction).
+  [[nodiscard]] SimdTier simd_tier() const noexcept { return tier_; }
 
   /// Encoding granularity (data bits per tag bit) of Table 1: dirty words
   /// M, granularity flag f, tag budget N.
@@ -100,21 +113,28 @@ class ReadSaeEncoder final : public Encoder {
   [[nodiscard]] usize tag_cell(usize s, usize rotation) const noexcept {
     return (s + rotation) % config_.tag_budget;
   }
+  /// The stored tag window as seen by logical segment indices: bit s of
+  /// the result is the stored value of tag_cell(s, rotation). This lets
+  /// the SIMD cost kernels index tags by plain bit position.
+  [[nodiscard]] u64 rotated_window(u64 tag_state,
+                                   usize rotation) const noexcept;
 
-  /// One candidate mask's scan state: the gathered old/new vectors plus
-  /// the finest-granularity per-segment Hamming distances (the shared
-  /// popcount tree's leaf level — every coarser granularity is derived
-  /// from these by pairwise addition, never by rescanning the bits).
+  /// One candidate mask's scan state: the densely packed XOR vector of
+  /// the covered words plus the finest-granularity per-segment Hamming
+  /// distances (the shared popcount tree's leaf level — every coarser
+  /// granularity is derived from these by pairwise addition, never by
+  /// rescanning the bits).
   struct MaskEval;
 
-  /// Gathers `mask`'s words from both lines and fills the leaf level of
-  /// the cost tree in a single pass over the covered bits.
+  /// XORs `mask`'s words from both lines and fills the leaf level of the
+  /// cost tree in a single pass over the covered bits.
   void scan_mask(MaskEval& eval, const StoredLine& stored,
                  const CacheLine& new_line, u8 mask) const;
 
   /// Applies the winning (mask, granularity) plan using the precomputed
   /// leaf costs — no rescan of the data bits.
-  void apply_plan(StoredLine& stored, const MaskEval& eval, usize best_f,
+  void apply_plan(StoredLine& stored, const MaskEval& eval,
+                  const CacheLine& new_line, usize best_f,
                   usize rotation) const;
 
   /// The logical line behind a stored image, reconstructing only the
@@ -125,6 +145,7 @@ class ReadSaeEncoder final : public Encoder {
 
   AdaptiveConfig config_;
   std::string name_;
+  SimdTier tier_ = SimdTier::kScalar;
 };
 
 /// The paper's READ scheme: 32-bit shared tag, dirty-word pooling, fixed

@@ -1,0 +1,381 @@
+#include "core/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iterator>
+#include <string_view>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+
+// The AVX2 tier is emitted with the target("avx2") function attribute so
+// this file compiles with baseline flags everywhere; the functions are
+// only ever called after a runtime cpuid check. Non-x86 builds compile the
+// scalar tier alone.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define NVMENC_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define NVMENC_SIMD_X86 0
+#endif
+
+namespace nvmenc {
+
+namespace {
+
+/// Scalar leaf popcounts: one hamming_range-equivalent scan per segment.
+/// This IS the pre-SIMD kernel of PR 2, kept as the differential oracle.
+void segment_popcount_scalar(std::span<const u64> x, usize nsegs,
+                             usize seg_bits, u32* out) {
+  for (usize s = 0; s < nsegs; ++s) {
+    usize pos = s * seg_bits;
+    usize len = seg_bits;
+    usize d = 0;
+    usize w = pos / 64;
+    const usize off = pos % 64;
+    if (off != 0) {
+      const usize head = (64 - off) < len ? (64 - off) : len;
+      d += popcount((x[w] >> off) & low_mask(head));
+      len -= head;
+      ++w;
+    }
+    for (; len >= 64; ++w, len -= 64) d += popcount(x[w]);
+    if (len != 0) d += popcount(x[w] & low_mask(len));
+    out[s] = static_cast<u32>(d);
+  }
+}
+
+usize segment_min_cost_scalar(const u32* h, u64 old_tags, usize nsegs,
+                              usize seg_bits) {
+  usize cost = 0;
+  for (usize s = 0; s < nsegs; ++s) {
+    const usize plain_h = h[s];
+    const bool old_tag = (old_tags >> s) & 1;
+    const usize cost_plain = plain_h + (old_tag ? 1 : 0);
+    const usize cost_flip = (seg_bits - plain_h) + (old_tag ? 0 : 1);
+    cost += cost_plain < cost_flip ? cost_plain : cost_flip;
+  }
+  return cost;
+}
+
+u64 segment_flip_select_scalar(const u32* h, u64 old_tags, usize nsegs,
+                               usize seg_bits) {
+  u64 sel = 0;
+  for (usize s = 0; s < nsegs; ++s) {
+    const usize plain_h = h[s];
+    const bool old_tag = (old_tags >> s) & 1;
+    const usize cost_plain = plain_h + (old_tag ? 1 : 0);
+    const usize cost_flip = (seg_bits - plain_h) + (old_tag ? 0 : 1);
+    if (cost_flip < cost_plain) sel |= u64{1} << s;
+  }
+  return sel;
+}
+
+u8 changed_words_mask_scalar(const u64* a, const u64* b) noexcept {
+  u8 mask = 0;
+  for (usize w = 0; w < kWordsPerLine; ++w) {
+    if (a[w] != b[w]) mask |= static_cast<u8>(1u << w);
+  }
+  return mask;
+}
+
+#if NVMENC_SIMD_X86
+
+/// Per-byte popcounts of up to 64 bytes via the classic nibble-LUT
+/// vpshufb, stored to `pc`. `nbytes` must be <= 64; the tail is read from
+/// a zero-padded copy, never past the input.
+__attribute__((target("avx2"))) void byte_popcount_avx2(const u64* words,
+                                                        usize nbytes,
+                                                        u8* pc) {
+  alignas(32) u8 buf[64] = {};
+  std::memcpy(buf, words, nbytes);
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i nib = _mm256_set1_epi8(0x0f);
+  for (usize i = 0; i < 64; i += 32) {
+    const __m256i v =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(buf + i));
+    const __m256i lo = _mm256_and_si256(v, nib);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), nib);
+    const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                        _mm256_shuffle_epi8(lut, hi));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(pc + i), cnt);
+  }
+}
+
+__attribute__((target("avx2"))) void segment_popcount_avx2(
+    std::span<const u64> x, usize nsegs, usize seg_bits, u32* out) {
+  // Byte-aligned segments of a <=512-bit vector: vector per-byte popcounts
+  // once, then tiny group sums. Everything else falls back to the scalar
+  // loop (identical results either way).
+  const usize total_bits = nsegs * seg_bits;
+  if (seg_bits % 8 != 0 || total_bits > 512) {
+    segment_popcount_scalar(x, nsegs, seg_bits, out);
+    return;
+  }
+  alignas(32) u8 pc[64];
+  byte_popcount_avx2(x.data(), total_bits / 8, pc);
+  const usize group = seg_bits / 8;
+  usize i = 0;
+  for (usize s = 0; s < nsegs; ++s) {
+    u32 sum = 0;
+    for (usize k = 0; k < group; ++k) sum += pc[i++];
+    out[s] = sum;
+  }
+}
+
+/// Expands the low 8 bits of `bits` into eight u32 lanes (0 or 1).
+__attribute__((target("avx2"))) inline __m256i spread_bits8_avx2(u64 bits) {
+  const __m256i shifts = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  return _mm256_and_si256(
+      _mm256_srlv_epi32(_mm256_set1_epi32(static_cast<int>(bits & 0xff)),
+                        shifts),
+      _mm256_set1_epi32(1));
+}
+
+__attribute__((target("avx2"))) usize segment_min_cost_avx2(const u32* h,
+                                                            u64 old_tags,
+                                                            usize nsegs,
+                                                            usize seg_bits) {
+  // min(p, C - p) with p = h + t and C = seg_bits + 1: keeping a set tag
+  // plain costs one reset, flipping under a set tag is free.
+  usize s = 0;
+  usize cost = 0;
+  if (nsegs >= 8) {
+    const __m256i c = _mm256_set1_epi32(static_cast<int>(seg_bits + 1));
+    __m256i acc = _mm256_setzero_si256();
+    for (; s + 8 <= nsegs; s += 8) {
+      const __m256i hv =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(h + s));
+      const __m256i p = _mm256_add_epi32(hv, spread_bits8_avx2(old_tags >> s));
+      acc = _mm256_add_epi32(acc,
+                             _mm256_min_epu32(p, _mm256_sub_epi32(c, p)));
+    }
+    alignas(32) u32 lanes[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    for (u32 lane : lanes) cost += lane;
+  }
+  if (s < nsegs) {
+    cost += segment_min_cost_scalar(h + s, old_tags >> s, nsegs - s, seg_bits);
+  }
+  return cost;
+}
+
+__attribute__((target("avx2"))) u64 segment_flip_select_avx2(const u32* h,
+                                                             u64 old_tags,
+                                                             usize nsegs,
+                                                             usize seg_bits) {
+  // flip < plain  <=>  C - p < p  <=>  2p > C, with p = h + t <= 513 so
+  // the signed 32-bit compare is exact.
+  usize s = 0;
+  u64 sel = 0;
+  if (nsegs >= 8) {
+    const __m256i c = _mm256_set1_epi32(static_cast<int>(seg_bits + 1));
+    for (; s + 8 <= nsegs; s += 8) {
+      const __m256i hv =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(h + s));
+      const __m256i p = _mm256_add_epi32(hv, spread_bits8_avx2(old_tags >> s));
+      const __m256i flip = _mm256_cmpgt_epi32(_mm256_add_epi32(p, p), c);
+      const u64 bits = static_cast<u32>(
+          _mm256_movemask_ps(_mm256_castsi256_ps(flip)));
+      sel |= bits << s;
+    }
+  }
+  if (s < nsegs) {
+    sel |= segment_flip_select_scalar(h + s, old_tags >> s, nsegs - s,
+                                      seg_bits)
+           << s;
+  }
+  return sel;
+}
+
+__attribute__((target("avx2"))) u8 changed_words_mask_avx2(
+    const u64* a, const u64* b) noexcept {
+  const __m256i a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+  const __m256i a1 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + 4));
+  const __m256i b0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+  const __m256i b1 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + 4));
+  const u32 eq_lo = static_cast<u32>(
+      _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(a0, b0))));
+  const u32 eq_hi = static_cast<u32>(
+      _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(a1, b1))));
+  return static_cast<u8>(~(eq_lo | (eq_hi << 4)) & 0xff);
+}
+
+#endif  // NVMENC_SIMD_X86
+
+SimdTier env_capped_tier() noexcept {
+  SimdTier tier = detect_simd_tier();
+  if (const char* env = std::getenv("NVMENC_SIMD")) {
+    const std::string_view v{env};
+    if (v == "scalar") {
+      tier = SimdTier::kScalar;
+    } else if (v == "avx2") {
+      // Requesting a tier the host lacks falls back to the best available.
+      if (detect_simd_tier() >= SimdTier::kAvx2) tier = SimdTier::kAvx2;
+    }
+    // Unknown values keep auto-detection: an env typo must not silently
+    // change results (it cannot — tiers are bit-identical — but it also
+    // must not crash a run).
+  }
+  return tier;
+}
+
+std::atomic<SimdTier>& default_tier_slot() noexcept {
+  static std::atomic<SimdTier> tier{env_capped_tier()};
+  return tier;
+}
+
+}  // namespace
+
+const char* simd_tier_name(SimdTier tier) noexcept {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+SimdTier detect_simd_tier() noexcept {
+#if NVMENC_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return SimdTier::kAvx2;
+#endif
+  return SimdTier::kScalar;
+}
+
+SimdTier default_simd_tier() noexcept {
+  return default_tier_slot().load(std::memory_order_relaxed);
+}
+
+void set_default_simd_tier(SimdTier tier) noexcept {
+  if (tier > detect_simd_tier()) tier = detect_simd_tier();
+  default_tier_slot().store(tier, std::memory_order_relaxed);
+}
+
+void segment_popcount(std::span<const u64> x, usize nsegs, usize seg_bits,
+                      u32* out, SimdTier tier) {
+  NVMENC_DCHECK(nsegs * seg_bits <= x.size() * 64,
+                "segment_popcount out of range");
+#if NVMENC_SIMD_X86
+  if (tier >= SimdTier::kAvx2) {
+    segment_popcount_avx2(x, nsegs, seg_bits, out);
+    return;
+  }
+#else
+  (void)tier;
+#endif
+  segment_popcount_scalar(x, nsegs, seg_bits, out);
+}
+
+void segment_hamming(std::span<const u64> a, std::span<const u64> b,
+                     usize nsegs, usize seg_bits, u32* out, SimdTier tier) {
+  const usize nwords = (nsegs * seg_bits + 63) / 64;
+  NVMENC_DCHECK(nwords <= a.size() && nwords <= b.size(),
+                "segment_hamming out of range");
+  u64 x[kLineBits / 64 + 2];
+  NVMENC_DCHECK(nwords <= std::size(x), "segment_hamming vector too wide");
+  for (usize w = 0; w < nwords; ++w) x[w] = a[w] ^ b[w];
+  segment_popcount({x, nwords}, nsegs, seg_bits, out, tier);
+}
+
+usize segment_min_cost(const u32* h, u64 old_tags, usize nsegs,
+                       usize seg_bits, SimdTier tier) {
+#if NVMENC_SIMD_X86
+  if (tier >= SimdTier::kAvx2) {
+    return segment_min_cost_avx2(h, old_tags, nsegs, seg_bits);
+  }
+#else
+  (void)tier;
+#endif
+  return segment_min_cost_scalar(h, old_tags, nsegs, seg_bits);
+}
+
+u64 segment_flip_select(const u32* h, u64 old_tags, usize nsegs,
+                        usize seg_bits, SimdTier tier) {
+#if NVMENC_SIMD_X86
+  if (tier >= SimdTier::kAvx2) {
+    return segment_flip_select_avx2(h, old_tags, nsegs, seg_bits);
+  }
+#else
+  (void)tier;
+#endif
+  return segment_flip_select_scalar(h, old_tags, nsegs, seg_bits);
+}
+
+void flip_selected_segments(std::span<u64> words, u64 sel, usize nsegs,
+                            usize seg_bits) noexcept {
+  NVMENC_DCHECK(nsegs * seg_bits <= words.size() * 64,
+                "flip_selected_segments out of range");
+  if (nsegs < 64) sel &= low_mask(nsegs);
+  if (sel == 0) return;
+  if (seg_bits % 64 == 0) {
+    // Whole words per segment: register-wide inverts, no masking.
+    const usize wps = seg_bits / 64;
+    for (usize s = 0; s < nsegs; ++s) {
+      if (!((sel >> s) & 1)) continue;
+      for (usize k = 0; k < wps; ++k) {
+        words[s * wps + k] = ~words[s * wps + k];
+      }
+    }
+    return;
+  }
+  if (64 % seg_bits == 0) {
+    // Sub-word segments that pack evenly: expand the selection bits of
+    // each output word into a flip mask and XOR once per word.
+    const usize spw = 64 / seg_bits;
+    const u64 seg_mask = low_mask(seg_bits);
+    const usize nwords = nsegs / spw;
+    for (usize w = 0; w < nwords; ++w) {
+      const u64 c = sel >> (w * spw);
+      if ((c & low_mask(spw)) == 0) continue;
+      u64 m = 0;
+      for (usize k = 0; k < spw; ++k) {
+        m |= ((c >> k) & 1) * (seg_mask << (k * seg_bits));
+      }
+      words[w] ^= m;
+    }
+    // Ragged tail (nsegs not a multiple of segments-per-word): the encoder
+    // never produces one — its segment space is word-aligned — but the
+    // kernel contract covers it.
+    const usize tail = nsegs % spw;
+    if (tail != 0) {
+      const u64 c = sel >> (nwords * spw);
+      u64 m = 0;
+      for (usize k = 0; k < tail; ++k) {
+        m |= ((c >> k) & 1) * (seg_mask << (k * seg_bits));
+      }
+      if (m != 0) words[nwords] ^= m;
+    }
+    return;
+  }
+  // Word-straddling segment widths (odd dirty-word counts): merge adjacent
+  // selected segments into maximal runs, one flip_range per run.
+  usize s = 0;
+  while (s < nsegs) {
+    if (!((sel >> s) & 1)) {
+      ++s;
+      continue;
+    }
+    usize e = s + 1;
+    while (e < nsegs && ((sel >> e) & 1)) ++e;
+    flip_range(words, s * seg_bits, (e - s) * seg_bits);
+    s = e;
+  }
+}
+
+u8 changed_words_mask(const u64* a, const u64* b, SimdTier tier) noexcept {
+#if NVMENC_SIMD_X86
+  if (tier >= SimdTier::kAvx2) return changed_words_mask_avx2(a, b);
+#else
+  (void)tier;
+#endif
+  return changed_words_mask_scalar(a, b);
+}
+
+}  // namespace nvmenc

@@ -1,0 +1,92 @@
+// Portable SIMD kernels for the shared-cost encode path.
+//
+// The MaskEval leaf/adder-tree evaluation (DESIGN.md §5) is embarrassingly
+// data-parallel: per-segment popcounts of a 512-bit XOR vector, per-segment
+// min(plain, flip) cost sums, and whole-register flip application. This
+// header exposes those operations behind a tier switch so the hot path can
+// use AVX2 where the host has it while the scalar implementation — the
+// bit-exact differential oracle — stays alive and selectable.
+//
+// Contract: every kernel computes IDENTICAL results on every tier. The
+// scalar tier is plain C++ over u64 words; tests/test_simd_fuzz.cpp holds
+// the vector tiers to it bit-for-bit across schemes, configs and
+// adversarial write classes. Tier selection:
+//
+//   * compile-time: AVX2 code is emitted via the `target("avx2")` function
+//     attribute, so the translation unit builds with baseline flags and
+//     non-x86 hosts simply lack the tier;
+//   * runtime: detect_simd_tier() queries the CPU, and the environment
+//     variable NVMENC_SIMD=scalar|avx2 caps the default (requesting an
+//     unavailable tier falls back to the best available one);
+//   * per-encoder: AdaptiveConfig::simd overrides the process default, so
+//     a differential harness can run both tiers side by side in one
+//     process.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace nvmenc {
+
+enum class SimdTier : u8 {
+  kScalar = 0,  ///< plain u64 loops — the differential oracle
+  kAvx2 = 1,    ///< 256-bit AVX2 (x86-64), runtime-detected
+};
+
+[[nodiscard]] const char* simd_tier_name(SimdTier tier) noexcept;
+
+/// Best tier the hardware supports (compile-time and runtime detection).
+[[nodiscard]] SimdTier detect_simd_tier() noexcept;
+
+/// Process-wide default: detect_simd_tier() capped by NVMENC_SIMD, unless
+/// overridden via set_default_simd_tier. Encoders capture it at
+/// construction, so a constructed encoder never changes tier mid-stream.
+[[nodiscard]] SimdTier default_simd_tier() noexcept;
+
+/// Test/bench hook: force the process default (e.g. to benchmark the
+/// scalar fallback on an AVX2 host). Thread-safe; affects encoders
+/// constructed after the call.
+void set_default_simd_tier(SimdTier tier) noexcept;
+
+// ---- Kernels ----------------------------------------------------------
+// All bit positions are little-endian over the word array (bit 0 = LSB of
+// word 0), matching bitops.hpp.
+
+/// Per-segment popcounts — the leaf level of the shared cost tree:
+/// out[s] = popcount of bits [s * seg_bits, (s+1) * seg_bits) of `x`.
+/// Requires nsegs * seg_bits <= 64 * x.size().
+void segment_popcount(std::span<const u64> x, usize nsegs, usize seg_bits,
+                      u32* out, SimdTier tier);
+
+/// Per-segment Hamming distances: segment_popcount of a ^ b without
+/// materializing the XOR vector at the call site.
+void segment_hamming(std::span<const u64> a, std::span<const u64> b,
+                     usize nsegs, usize seg_bits, u32* out, SimdTier tier);
+
+/// One granularity level of the adder-tree cost evaluation: the summed
+/// Flip-N-Write cost over all segments,
+///   sum_s min(h[s] + t_s, seg_bits - h[s] + (1 - t_s))
+/// where t_s is bit s of old_tags (the tag cell's stored value: keeping a
+/// set tag plain costs one reset; flipping under a set tag is free).
+[[nodiscard]] usize segment_min_cost(const u32* h, u64 old_tags, usize nsegs,
+                                     usize seg_bits, SimdTier tier);
+
+/// Per-segment flip decisions of the winning plan: bit s of the result is
+/// set iff inverting segment s is STRICTLY cheaper than storing it plain
+/// (the tie-break every scalar implementation of this library uses).
+[[nodiscard]] u64 segment_flip_select(const u32* h, u64 old_tags, usize nsegs,
+                                      usize seg_bits, SimdTier tier);
+
+/// XOR-flips every segment whose bit is set in `sel`, merging adjacent
+/// selected segments into single flip_range runs. Tier-independent (the
+/// word-level flips are already register-wide).
+void flip_selected_segments(std::span<u64> words, u64 sel, usize nsegs,
+                            usize seg_bits) noexcept;
+
+/// Word-granularity dirty mask of two 8-word lines: bit w set iff word w
+/// differs. The paper's dirty-flag computation (Section 3.1).
+[[nodiscard]] u8 changed_words_mask(const u64* a, const u64* b,
+                                    SimdTier tier) noexcept;
+
+}  // namespace nvmenc

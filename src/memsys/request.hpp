@@ -47,6 +47,10 @@ struct MemSysStats {
     return static_cast<double>((reads + writes) * kLineBytes) /
            last_completion_ns;
   }
+
+  /// Exact equality across every counter and histogram bucket — the
+  /// replay/sweep determinism tests compare whole runs with this.
+  [[nodiscard]] bool operator==(const MemSysStats&) const = default;
 };
 
 }  // namespace nvmenc

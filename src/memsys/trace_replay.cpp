@@ -1,0 +1,87 @@
+#include "memsys/trace_replay.hpp"
+
+#include "common/error.hpp"
+#include "runner/parallel_for.hpp"
+#include "runner/parallel_runner.hpp"
+#include "runner/thread_pool.hpp"
+
+namespace nvmenc {
+
+void TraceReplayConfig::validate() const {
+  require(inter_arrival_ns > 0.0, "inter-arrival time must be positive");
+}
+
+namespace {
+
+/// The open loop over any indexable access source. Arrivals are delivered
+/// strictly in time order: all completions due before the next arrival are
+/// pumped first (their payloads are already accounted inside MemorySystem;
+/// the replay loop only needs them out of the way).
+template <typename Source>
+TraceReplayResult replay_impl(const Source& trace, u64 count,
+                              const TraceReplayConfig& replay,
+                              const MemSysConfig& mem) {
+  replay.validate();
+  MemorySystem sys{mem};
+  for (u64 i = 0; i < count; ++i) {
+    const double now = static_cast<double>(i) * replay.inter_arrival_ns;
+    while (sys.step_until(now)) {
+    }
+    const MemAccess a = trace[i];
+    (void)sys.submit(a.line_addr(),
+                     a.op == Op::kRead ? ReqKind::kRead : ReqKind::kWrite,
+                     now);
+  }
+  TraceReplayResult result;
+  result.makespan_ns = sys.drain_all();
+  result.stats = sys.stats();
+  result.timing = sys.timing().stats();
+  result.accesses = count;
+  return result;
+}
+
+u64 capped_count(u64 trace_size, u64 max_accesses) {
+  return max_accesses == 0 || max_accesses > trace_size ? trace_size
+                                                        : max_accesses;
+}
+
+}  // namespace
+
+TraceReplayResult replay_trace(const MappedTrace& trace,
+                               const TraceReplayConfig& replay,
+                               const MemSysConfig& mem) {
+  return replay_impl(trace, capped_count(trace.size(), replay.max_accesses),
+                     replay, mem);
+}
+
+TraceReplayResult replay_trace(std::span<const MemAccess> trace,
+                               const TraceReplayConfig& replay,
+                               const MemSysConfig& mem) {
+  return replay_impl(trace, capped_count(trace.size(), replay.max_accesses),
+                     replay, mem);
+}
+
+std::vector<ReplaySweepCell> replay_sweep(
+    const std::string& trace_path, const std::vector<ReplaySweepCell>& cells,
+    const TraceReplayConfig& replay, const MemSysConfig& base_mem,
+    usize jobs) {
+  std::vector<ReplaySweepCell> out = cells;
+  auto run_cell = [&](usize i) {
+    // Private mapping per cell: read-only MAP_SHARED mappings of one file
+    // are cheap, and nothing is shared mutably between workers.
+    const MappedTrace trace{trace_path};
+    MemSysConfig mem = base_mem;
+    mem.org.encode_latency_ns = out[i].encode_latency_ns;
+    out[i].result = replay_trace(trace, replay, mem);
+  };
+  const usize workers = resolve_jobs(jobs);
+  if (workers <= 1 || cells.size() <= 1) {
+    for (usize i = 0; i < out.size(); ++i) run_cell(i);
+  } else {
+    ThreadPool pool{workers};
+    parallel_for(pool, out.size(), run_cell);
+  }
+  return out;
+}
+
+}  // namespace nvmenc

@@ -1,0 +1,81 @@
+// Open-loop trace-driven replay through the MemorySystem.
+//
+// The closed-loop load generator (loadgen.hpp) throttles itself: each user
+// waits for its completion before issuing again, so it can never overrun
+// the system. Trace replay is the opposite discipline — accesses arrive at
+// a fixed inter-arrival time regardless of how the system is coping, the
+// standard open-loop methodology for driving a memory system with a
+// recorded reference stream. Pushed past saturation the write queues fill,
+// arrivals park, and the read tail grows without bound; the inter-arrival
+// knob sweeps exactly that transition.
+//
+// Traces come from the binary mmap format (trace_io.hpp): records are
+// decoded straight out of the page cache, so a 10^8-access replay touches
+// no parser and allocates O(1) memory. The simulation itself is the same
+// single-threaded discrete-event MemorySystem the load generator drives —
+// fully deterministic, so a (trace, config) pair reproduces bit-identical
+// statistics regardless of --jobs or host load. Parallelism belongs one
+// level up: replay_sweep fans independent cells (one per encode-latency
+// point) out over a thread pool, each cell mapping the trace privately.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "memsys/memory_system.hpp"
+#include "trace/trace_io.hpp"
+
+namespace nvmenc {
+
+struct TraceReplayConfig {
+  /// Fixed arrival spacing (ns per access). The open-loop rate knob:
+  /// 64 B / 10 ns ≈ 6.4 GB/s offered load.
+  double inter_arrival_ns = 10.0;
+  /// Replay at most this many accesses (0 = the whole trace).
+  u64 max_accesses = 0;
+
+  void validate() const;
+};
+
+struct TraceReplayResult {
+  MemSysStats stats;    ///< request-level counters + latency histograms
+  TimingStats timing;   ///< array-level counters (row hits, bank latency)
+  double makespan_ns = 0.0;  ///< last array operation finished
+  u64 accesses = 0;          ///< accesses actually replayed
+
+  [[nodiscard]] bool operator==(const TraceReplayResult&) const = default;
+};
+
+/// Replays a memory-mapped binary trace. The hot loop reads records in
+/// place; nothing is buffered or parsed.
+[[nodiscard]] TraceReplayResult replay_trace(const MappedTrace& trace,
+                                             const TraceReplayConfig& replay,
+                                             const MemSysConfig& mem);
+
+/// Replays an in-memory access vector (text-trace interop and tests).
+/// Identical semantics: the format a trace arrived in must not change the
+/// replayed statistics, and the round-trip test holds both paths to it.
+[[nodiscard]] TraceReplayResult replay_trace(std::span<const MemAccess> trace,
+                                             const TraceReplayConfig& replay,
+                                             const MemSysConfig& mem);
+
+/// One sweep cell: the base MemSysConfig with this encode latency.
+struct ReplaySweepCell {
+  std::string label;          ///< e.g. scheme or model name
+  double encode_latency_ns = 0.0;
+  TraceReplayResult result;
+};
+
+/// Replays one trace file across several encode-latency points, cells
+/// fanned out over `jobs` threads (0 = one per hardware context, 1 =
+/// serial). Every cell maps the trace file independently (read-only shared
+/// mappings are cheap) and runs a private MemorySystem, so results are
+/// bit-identical for any `jobs` value.
+[[nodiscard]] std::vector<ReplaySweepCell> replay_sweep(
+    const std::string& trace_path,
+    const std::vector<ReplaySweepCell>& cells,
+    const TraceReplayConfig& replay, const MemSysConfig& base_mem,
+    usize jobs);
+
+}  // namespace nvmenc

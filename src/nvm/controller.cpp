@@ -152,25 +152,30 @@ CacheLine MemoryController::read_line(u64 line_addr) {
   return line;
 }
 
+void MemoryController::write_line_plain(u64 line_addr,
+                                        const CacheLine& data) {
+  StoredLine stored = device_->load(line_addr);  // read-before-write copy
+  const CacheLine old_logical = encoder_->decode(stored);
+  const usize dirty_words = popcount(data.dirty_mask(old_logical));
+
+  const FlipBreakdown fb = encoder_->encode(stored, data);
+  device_->store(line_addr, stored, fb.total());
+  if (wear_leveler_ != nullptr)
+    wear_leveler_->on_write(line_addr, fb.total());
+
+  ++stats_.writebacks;
+  if (dirty_words == 0) ++stats_.silent_writebacks;
+  stats_.dirty_words.add(dirty_words);
+  stats_.flips += fb;
+  // Silent write-backs bypass the encoder pipeline (no dirty words to
+  // encode), so its logic energy is only charged on real encodes.
+  stats_.energy.add_write(config_.energy, kLineBits, fb.sets, fb.resets,
+                          config_.charge_encode_logic && dirty_words > 0);
+}
+
 void MemoryController::write_line(u64 line_addr, const CacheLine& data) {
   if (!resilient_) {
-    StoredLine stored = device_->load(line_addr);  // read-before-write copy
-    const CacheLine old_logical = encoder_->decode(stored);
-    const usize dirty_words = popcount(data.dirty_mask(old_logical));
-
-    const FlipBreakdown fb = encoder_->encode(stored, data);
-    device_->store(line_addr, stored, fb.total());
-    if (wear_leveler_ != nullptr)
-      wear_leveler_->on_write(line_addr, fb.total());
-
-    ++stats_.writebacks;
-    if (dirty_words == 0) ++stats_.silent_writebacks;
-    stats_.dirty_words.add(dirty_words);
-    stats_.flips += fb;
-    // Silent write-backs bypass the encoder pipeline (no dirty words to
-    // encode), so its logic energy is only charged on real encodes.
-    stats_.energy.add_write(config_.energy, kLineBits, fb.sets, fb.resets,
-                            config_.charge_encode_logic && dirty_words > 0);
+    write_line_plain(line_addr, data);
     return;
   }
 
@@ -224,6 +229,18 @@ void MemoryController::write_line(u64 line_addr, const CacheLine& data) {
   // Phase 4: the home image (wherever it ended up) is durable; retire the
   // commit record so recovery no longer replays this write.
   if (config_.verify.atomic_writes) log_clear();
+}
+
+void MemoryController::write_lines(std::span<const WriteBack> batch) {
+  // Hoist the policy branch out of the loop: the common (non-resilient)
+  // replay path then runs the plain differential store back-to-back with
+  // no per-line dispatch. Order is preserved, so every statistic is
+  // bit-identical to an equivalent sequence of write_line calls.
+  if (!resilient_) {
+    for (const WriteBack& wb : batch) write_line_plain(wb.line_addr, wb.data);
+    return;
+  }
+  for (const WriteBack& wb : batch) write_line(wb.line_addr, wb.data);
 }
 
 u64 MemoryController::resolve(u64 line_addr) const {

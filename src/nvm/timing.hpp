@@ -67,6 +67,8 @@ struct TimingStats {
                       : static_cast<double>(row_hits) /
                             static_cast<double>(total);
   }
+
+  [[nodiscard]] bool operator==(const TimingStats&) const = default;
 };
 
 class MemoryTimingModel {

@@ -1,6 +1,8 @@
 #include "sim/replay.hpp"
 
+#include <algorithm>
 #include <optional>
+#include <span>
 
 #include "common/rng.hpp"
 #include "core/paper_model.hpp"
@@ -10,9 +12,26 @@ namespace nvmenc {
 
 namespace {
 
-/// Once per write-back: abandon the replay if a stop was requested.
+/// Abandon the replay if a stop was requested. Checked once per paper-model
+/// write-back and once per controller batch.
 inline void check_cancel(const CancellationToken* cancel) {
   if (cancel != nullptr && cancel->stop_requested()) throw CancelledRun{};
+}
+
+/// Write-backs per controller batch: large enough to amortize dispatch,
+/// small enough that a cancellation request lands promptly.
+constexpr usize kWriteBatch = 256;
+
+/// Drives a whole write-back stream through the controller's batched entry
+/// point, checking for cancellation between chunks.
+void write_all(MemoryController& controller,
+               std::span<const WriteBack> stream,
+               const CancellationToken* cancel) {
+  for (usize i = 0; i < stream.size(); i += kWriteBatch) {
+    check_cancel(cancel);
+    controller.write_lines(
+        stream.subspan(i, std::min(kWriteBatch, stream.size() - i)));
+  }
 }
 
 /// Replays through the paper's idealized accounting (no Encoder, no
@@ -136,19 +155,13 @@ ReplayResult replay_scheme(const WritebackTrace& trace, Scheme scheme,
   {
     MemoryController warmup{config, make_encoder(scheme), device, nullptr,
                             fault_state};
-    for (const WriteBack& wb : trace.warmup) {
-      check_cancel(cancel);
-      warmup.write_line(wb.line_addr, wb.data);
-    }
+    write_all(warmup, trace.warmup, cancel);
   }
 
   const u64 flips_before = device.total_flips();
   MemoryController controller{config, std::move(encoder), device, nullptr,
                               fault_state};
-  for (const WriteBack& wb : trace.measured) {
-    check_cancel(cancel);
-    controller.write_line(wb.line_addr, wb.data);
-  }
+  write_all(controller, trace.measured, cancel);
 
   ReplayResult result;
   result.benchmark = trace.benchmark;

@@ -7,22 +7,26 @@ namespace nvmenc {
 
 namespace {
 
-[[noreturn]] void fail(usize line_number, const std::string& what) {
-  throw std::runtime_error("text trace line " + std::to_string(line_number) +
-                           ": " + what);
+/// Diagnostic shape (pinned by tests/test_text_trace.cpp):
+/// "text trace <source>:<line>: <defect>".
+[[noreturn]] void fail(const std::string& source, usize line_number,
+                       const std::string& what) {
+  throw std::runtime_error("text trace " + source + ":" +
+                           std::to_string(line_number) + ": " + what);
 }
 
-u64 parse_hex(const std::string& token, usize line_number) {
-  if (token.empty()) fail(line_number, "missing hex field");
+u64 parse_hex(const std::string& token, const std::string& source,
+              usize line_number) {
+  if (token.empty()) fail(source, line_number, "missing hex field");
   usize pos = 0;
   u64 value = 0;
   try {
     value = std::stoull(token, &pos, 16);
   } catch (const std::exception&) {
-    fail(line_number, "bad hex value '" + token + "'");
+    fail(source, line_number, "bad hex value '" + token + "'");
   }
   if (pos != token.size()) {
-    fail(line_number, "trailing junk in '" + token + "'");
+    fail(source, line_number, "trailing junk in '" + token + "'");
   }
   return value;
 }
@@ -49,7 +53,8 @@ void write_text_trace(const std::string& path,
   write_text_trace(out, trace);
 }
 
-std::vector<MemAccess> read_text_trace(std::istream& is) {
+std::vector<MemAccess> read_text_trace(std::istream& is,
+                                       const std::string& source) {
   std::vector<MemAccess> trace;
   std::string line;
   usize line_number = 0;
@@ -62,21 +67,26 @@ std::vector<MemAccess> read_text_trace(std::istream& is) {
     if (!(fields >> op)) continue;  // blank line
 
     std::string addr_token;
-    if (!(fields >> addr_token)) fail(line_number, "missing address");
-    const u64 addr = parse_hex(addr_token, line_number);
-    if (addr % 8 != 0) fail(line_number, "address not 8-byte aligned");
+    if (!(fields >> addr_token)) fail(source, line_number, "missing address");
+    const u64 addr = parse_hex(addr_token, source, line_number);
+    if (addr % 8 != 0) fail(source, line_number, "address not 8-byte aligned");
 
     if (op == "R" || op == "r") {
       trace.push_back({addr, Op::kRead, 0});
     } else if (op == "W" || op == "w") {
       std::string value_token;
-      if (!(fields >> value_token)) fail(line_number, "missing write value");
-      trace.push_back({addr, Op::kWrite, parse_hex(value_token, line_number)});
+      if (!(fields >> value_token)) {
+        fail(source, line_number, "missing write value");
+      }
+      trace.push_back(
+          {addr, Op::kWrite, parse_hex(value_token, source, line_number)});
     } else {
-      fail(line_number, "unknown op '" + op + "'");
+      fail(source, line_number, "unknown op '" + op + "'");
     }
     std::string extra;
-    if (fields >> extra) fail(line_number, "trailing junk '" + extra + "'");
+    if (fields >> extra) {
+      fail(source, line_number, "trailing junk '" + extra + "'");
+    }
   }
   return trace;
 }
@@ -84,7 +94,7 @@ std::vector<MemAccess> read_text_trace(std::istream& is) {
 std::vector<MemAccess> read_text_trace(const std::string& path) {
   std::ifstream in{path};
   if (!in) throw std::runtime_error("cannot open trace input: " + path);
-  return read_text_trace(in);
+  return read_text_trace(in, path);
 }
 
 }  // namespace nvmenc

@@ -23,9 +23,13 @@ void write_text_trace(std::ostream& os, const std::vector<MemAccess>& trace);
 void write_text_trace(const std::string& path,
                       const std::vector<MemAccess>& trace);
 
-/// Throws std::runtime_error with the offending line number on malformed
-/// input (bad opcode, unparsable hex, misaligned address).
-[[nodiscard]] std::vector<MemAccess> read_text_trace(std::istream& is);
+/// Throws std::runtime_error on malformed input (bad opcode, unparsable
+/// hex, misaligned address). The message pins down the offending place as
+/// "text trace <source>:<line>: <defect>", where <source> is the file name
+/// for the path overload and `source` (default "<stream>") for the stream
+/// overload; tests/test_text_trace.cpp pins the shape.
+[[nodiscard]] std::vector<MemAccess> read_text_trace(
+    std::istream& is, const std::string& source = "<stream>");
 [[nodiscard]] std::vector<MemAccess> read_text_trace(
     const std::string& path);
 

@@ -1,6 +1,7 @@
 #include "trace/text_trace.hpp"
 
 #include <gtest/gtest.h>
+#include <fstream>
 #include <sstream>
 
 #include "common/rng.hpp"
@@ -55,13 +56,30 @@ TEST(TextTrace, RejectsMalformedInput) {
   expect_fail("W 1000 5 extra\n", "trailing junk");
 }
 
-TEST(TextTrace, ErrorsNameTheLine) {
+// Pins the diagnostic shape: "text trace <source>:<line>: <defect>".
+TEST(TextTrace, ErrorsNameSourceAndLine) {
   std::stringstream ss{"R 1000\nR 1008\nX 1010\n"};
   try {
     (void)read_text_trace(ss);
     FAIL() << "expected an exception";
   } catch (const std::runtime_error& e) {
-    EXPECT_NE(std::string{e.what()}.find("line 3"), std::string::npos);
+    EXPECT_EQ(std::string{e.what()},
+              "text trace <stream>:3: unknown op 'X'");
+  }
+}
+
+TEST(TextTrace, FileErrorsNameTheFile) {
+  const std::string path = ::testing::TempDir() + "/nvmenc_bad_trace.txt";
+  {
+    std::ofstream out{path};
+    out << "R 1000\nW 1008\n";
+  }
+  try {
+    (void)read_text_trace(path);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string{e.what()},
+              "text trace " + path + ":2: missing write value");
   }
 }
 

@@ -1,12 +1,37 @@
 #include "trace/trace_io.hpp"
 
 #include <gtest/gtest.h>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "common/rng.hpp"
 
 namespace nvmenc {
 namespace {
+
+/// Writes `trace` to a temp file, lets `corrupt` mangle the raw bytes,
+/// writes the result back and returns its path.
+std::string corrupted_trace_file(const std::string& name,
+                                 const std::vector<MemAccess>& trace,
+                                 void (*corrupt)(std::string&)) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  write_trace(path, trace);
+  std::string bytes;
+  {
+    std::ifstream in{path, std::ios::binary};
+    bytes.assign(std::istreambuf_iterator<char>{in}, {});
+  }
+  corrupt(bytes);
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return path;
+}
+
+std::vector<MemAccess> small_trace() {
+  return {{0x40, Op::kWrite, 0xDEAD}, {0x88, Op::kRead, 0},
+          {0x1000, Op::kWrite, 42}};
+}
 
 TEST(MemAccess, LineAddrAndWordIndex) {
   MemAccess a{.addr = 0x1000 + 3 * 8, .op = Op::kWrite, .value = 7};
@@ -67,6 +92,160 @@ TEST(TraceIo, FileRoundTrip) {
 TEST(TraceIo, MissingFileThrows) {
   EXPECT_THROW((void)read_trace(std::string{"/no/such/file.bin"}),
                std::runtime_error);
+}
+
+// ---- Corruption: every defect must fail with a clean diagnostic that
+// names the file, never crash, never return a silent partial read. Both
+// readers (eager read_trace and MappedTrace) are held to it.
+
+void expect_rejects(const std::string& path, const std::string& fragment) {
+  for (const int reader : {0, 1}) {
+    try {
+      if (reader == 0) {
+        (void)read_trace(path);
+      } else {
+        MappedTrace trace{path};
+        (void)trace;
+      }
+      FAIL() << (reader == 0 ? "read_trace" : "MappedTrace")
+             << " accepted corrupt file " << path;
+    } catch (const std::runtime_error& e) {
+      const std::string what{e.what()};
+      EXPECT_NE(what.find(path), std::string::npos)
+          << "diagnostic does not name the file: " << what;
+      EXPECT_NE(what.find(fragment), std::string::npos)
+          << "diagnostic does not name the defect (want '" << fragment
+          << "'): " << what;
+    }
+  }
+}
+
+TEST(TraceIoCorruption, TruncatedTail) {
+  const std::string path = corrupted_trace_file(
+      "nvmenc_trunc.bin", small_trace(),
+      [](std::string& b) { b.resize(b.size() - 5); });
+  expect_rejects(path, "truncated");
+}
+
+TEST(TraceIoCorruption, TruncatedHeader) {
+  const std::string path = corrupted_trace_file(
+      "nvmenc_trunc_hdr.bin", small_trace(),
+      [](std::string& b) { b.resize(10); });
+  expect_rejects(path, "truncated header");
+}
+
+TEST(TraceIoCorruption, BadMagic) {
+  const std::string path = corrupted_trace_file(
+      "nvmenc_badmagic.bin", small_trace(),
+      [](std::string& b) { b[0] = 'X'; });
+  expect_rejects(path, "bad magic");
+}
+
+TEST(TraceIoCorruption, WrongVersion) {
+  const std::string path = corrupted_trace_file(
+      "nvmenc_badver.bin", small_trace(),
+      [](std::string& b) { b[8] = 99; });
+  expect_rejects(path, "unsupported version 99");
+}
+
+TEST(TraceIoCorruption, RecordSizeMismatch) {
+  const std::string path = corrupted_trace_file(
+      "nvmenc_badrec.bin", small_trace(),
+      [](std::string& b) { b[12] = 23; });
+  expect_rejects(path, "record size 23");
+}
+
+TEST(TraceIoCorruption, CountBeyondFile) {
+  const std::string path = corrupted_trace_file(
+      "nvmenc_badcount.bin", small_trace(),
+      [](std::string& b) { b[16] = 100; });  // claims 100 records, holds 3
+  expect_rejects(path, "truncated");
+}
+
+// ---- MappedTrace ------------------------------------------------------
+
+TEST(MappedTrace, ReadsRecordsInPlace) {
+  const std::string path = ::testing::TempDir() + "/nvmenc_mmap.bin";
+  std::vector<MemAccess> trace;
+  Xoshiro256 rng{11};
+  for (int i = 0; i < 4096; ++i) {
+    trace.push_back({rng.next() & ~u64{7},
+                     rng.next_bool(0.5) ? Op::kWrite : Op::kRead,
+                     rng.next()});
+  }
+  write_trace(path, trace);
+  MappedTrace mapped{path};
+  ASSERT_EQ(mapped.size(), trace.size());
+  for (usize i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(mapped[i], trace[i]) << "record " << i;
+  }
+}
+
+TEST(MappedTrace, EmptyTrace) {
+  const std::string path = ::testing::TempDir() + "/nvmenc_mmap_empty.bin";
+  write_trace(path, {});
+  MappedTrace mapped{path};
+  EXPECT_EQ(mapped.size(), 0u);
+  EXPECT_TRUE(mapped.empty());
+}
+
+TEST(MappedTrace, MoveTransfersTheMapping) {
+  const std::string path = ::testing::TempDir() + "/nvmenc_mmap_move.bin";
+  write_trace(path, small_trace());
+  MappedTrace a{path};
+  MappedTrace b{std::move(a)};
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], small_trace()[0]);
+  MappedTrace c{path};
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[2], small_trace()[2]);
+}
+
+TEST(MappedTrace, MissingFileThrows) {
+  EXPECT_THROW(MappedTrace{std::string{"/no/such/file.bin"}},
+               std::runtime_error);
+}
+
+// ---- TraceWriter ------------------------------------------------------
+
+TEST(TraceWriter, StreamsAndPatchesCount) {
+  const std::string path = ::testing::TempDir() + "/nvmenc_writer.bin";
+  std::vector<MemAccess> trace;
+  Xoshiro256 rng{13};
+  {
+    TraceWriter writer{path};
+    for (int i = 0; i < 1000; ++i) {
+      const MemAccess a{rng.next() & ~u64{7},
+                        rng.next_bool(0.5) ? Op::kWrite : Op::kRead,
+                        rng.next()};
+      trace.push_back(a);
+      writer.append(a);
+    }
+    EXPECT_EQ(writer.count(), 1000u);
+    writer.close();
+  }
+  EXPECT_EQ(read_trace(path), trace);
+  MappedTrace mapped{path};
+  ASSERT_EQ(mapped.size(), trace.size());
+  EXPECT_EQ(mapped[999], trace[999]);
+}
+
+TEST(TraceWriter, MatchesVectorWriterByteForByte) {
+  const std::string a = ::testing::TempDir() + "/nvmenc_w_vec.bin";
+  const std::string b = ::testing::TempDir() + "/nvmenc_w_stream.bin";
+  const std::vector<MemAccess> trace = small_trace();
+  write_trace(a, trace);
+  {
+    TraceWriter writer{b};
+    for (const MemAccess& acc : trace) writer.append(acc);
+    writer.close();
+  }
+  auto slurp = [](const std::string& p) {
+    std::ifstream in{p, std::ios::binary};
+    return std::string{std::istreambuf_iterator<char>{in}, {}};
+  };
+  EXPECT_EQ(slurp(a), slurp(b));
 }
 
 }  // namespace

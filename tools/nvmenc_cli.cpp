@@ -9,10 +9,20 @@
 //       The scheme x benchmark experiment matrix, normalized to DCW.
 //   nvmenc trace --benchmark=gcc --out=file.trace [--accesses=N] [--seed=S]
 //              [--format=bin|text]
-//       Captures the CPU access stream to a trace file.
+//       Captures the CPU access stream to a trace file. Binary traces are
+//       streamed through TraceWriter, so --accesses=100000000 works in
+//       O(1) memory.
+//   nvmenc trace pack --in=file.txt --out=file.bin
+//       Converts a text trace to the binary mmap format.
 //   nvmenc replay --in=file.trace --scheme=READ+SAE [--format=bin|text]
 //       Replays a recorded trace (cold, all-zero memory) through the
 //       caches and the chosen encoder; prints controller statistics.
+//   nvmenc replay --in=file.bin --memsys [--inter-arrival-ns=X]
+//              [--schemes=a,b,...] [--jobs=N]
+//       Open-loop replay through the multi-channel memory system: records
+//       are decoded straight out of the mmap'd file at a fixed arrival
+//       rate; prints throughput and read-latency tail percentiles. With
+//       --schemes, sweeps one cell per scheme's encode latency.
 //   nvmenc perf --benchmark=gcc [--accesses=N] [--encode-ns=X] [--sched]
 //       Timing replay through the banked memory model.
 //   nvmenc loadgen --scheme=READ+SAE [--pattern=zipfian] [--users=N]
@@ -28,6 +38,7 @@
 #include "common/table.hpp"
 #include "memsys/encode_cost.hpp"
 #include "memsys/loadgen.hpp"
+#include "memsys/trace_replay.hpp"
 #include "runner/parallel_runner.hpp"
 #include "sim/experiment.hpp"
 #include "sim/perf.hpp"
@@ -43,6 +54,7 @@ namespace {
 
 struct Args {
   std::string command;
+  std::string subcommand;  // e.g. `trace pack`
   std::string benchmark = "gcc";
   std::string scheme = "READ+SAE";
   std::string benchmarks;
@@ -77,6 +89,10 @@ struct Args {
   u64 requests = 100'000;
   u64 footprint = u64{1} << 18;
   usize channels = 2;
+  // Open-loop replay knobs (replay --memsys).
+  bool memsys = false;
+  double inter_arrival_ns = 10.0;
+  u64 max_accesses = 0;  // 0 = whole trace
 };
 
 /// Set by the SIGINT/SIGTERM handler; the matrix polls it at write-back
@@ -106,8 +122,18 @@ void handle_stop_signal(int) { g_cancel.request_stop(); }
       "          write-back and a rerun with --resume replays only the\n"
       "          missing cells, bit-identical to an uninterrupted run)\n"
       "  trace:  --benchmark=NAME --out=FILE [--accesses=N] [--seed=S]\n"
-      "          [--format=bin|text]\n"
+      "          [--format=bin|text]  (bin streams through TraceWriter,\n"
+      "          so --accesses=100000000 runs in O(1) memory)\n"
+      "  trace pack: --in=FILE.txt --out=FILE.bin  (text -> binary mmap\n"
+      "          format)\n"
       "  replay: --in=FILE --scheme=NAME [--format=bin|text]\n"
+      "  replay --memsys: --in=FILE [--format=bin|text]\n"
+      "          [--inter-arrival-ns=X] [--max-accesses=N] [--channels=N]\n"
+      "          [--scheme=NAME] [--encode-model=none|paper|measured]\n"
+      "          [--schemes=a,b,...] [--jobs=N]  (open-loop replay through\n"
+      "          the memory system; binary traces are mmap'd, never\n"
+      "          parsed; --schemes sweeps encode-latency cells in\n"
+      "          parallel)\n"
       "  perf:   --benchmark=NAME [--accesses=N] [--encode-ns=X] "
       "[--sched]\n"
       "  loadgen: --scheme=NAME [--pattern=uniform|zipfian|diurnal]\n"
@@ -121,7 +147,12 @@ Args parse(int argc, char** argv) {
   if (argc < 2) usage();
   Args args;
   args.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
+  int first = 2;
+  if (argc >= 3 && argv[2][0] != '-') {
+    args.subcommand = argv[2];
+    first = 3;
+  }
+  for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&](const std::string& key) -> std::optional<std::string> {
       const std::string prefix = "--" + key + "=";
@@ -159,6 +190,11 @@ Args parse(int argc, char** argv) {
     else if (auto vm = value("requests")) args.requests = std::stoull(*vm);
     else if (auto vn = value("footprint")) args.footprint = std::stoull(*vn);
     else if (auto vo = value("channels")) args.channels = std::stoull(*vo);
+    else if (auto vp = value("inter-arrival-ns"))
+      args.inter_arrival_ns = std::stod(*vp);
+    else if (auto vq = value("max-accesses"))
+      args.max_accesses = std::stoull(*vq);
+    else if (arg == "--memsys") args.memsys = true;
     else if (arg == "--protect-meta") args.protect_meta = true;
     else if (arg == "--atomic-writes") args.atomic_writes = true;
     else if (arg == "--resume") args.resume = true;
@@ -360,20 +396,117 @@ int cmd_matrix(const Args& args) {
 int cmd_trace(const Args& args) {
   if (args.out.empty()) usage();
   SyntheticWorkload workload{profile_by_name(args.benchmark), args.seed};
-  std::vector<MemAccess> accesses;
-  accesses.reserve(args.accesses);
-  for (u64 i = 0; i < args.accesses; ++i) accesses.push_back(workload.next());
   if (args.format == "text") {
+    std::vector<MemAccess> accesses;
+    accesses.reserve(args.accesses);
+    for (u64 i = 0; i < args.accesses; ++i)
+      accesses.push_back(workload.next());
     write_text_trace(args.out, accesses);
   } else {
-    write_trace(args.out, accesses);
+    // Streamed: a 10^8-access capture never holds the trace in memory.
+    TraceWriter writer{args.out};
+    for (u64 i = 0; i < args.accesses; ++i) writer.append(workload.next());
+    writer.close();
   }
-  std::cout << "wrote " << accesses.size() << " accesses to " << args.out
+  std::cout << "wrote " << args.accesses << " accesses to " << args.out
             << "\n";
   return 0;
 }
 
+int cmd_trace_pack(const Args& args) {
+  if (args.in.empty() || args.out.empty()) usage();
+  const std::vector<MemAccess> accesses = read_text_trace(args.in);
+  write_trace(args.out, accesses);
+  std::cout << "packed " << accesses.size() << " accesses: " << args.in
+            << " -> " << args.out << "\n";
+  return 0;
+}
+
+int cmd_replay_memsys(const Args& args) {
+  if (args.in.empty()) usage();
+  TraceReplayConfig replay;
+  replay.inter_arrival_ns = args.inter_arrival_ns;
+  replay.max_accesses = args.max_accesses;
+
+  MemSysConfig mem;
+  mem.org.channels = args.channels;
+  const EncodeLatencyModel model = encode_model_by_name(args.encode_model);
+
+  if (!args.schemes.empty()) {
+    // Sweep: one cell per scheme's encode latency, fanned over --jobs.
+    // replay_sweep maps the trace per cell, so it needs the binary format.
+    if (args.format == "text") {
+      std::cerr << "sweep replay mmaps the trace; convert it first with "
+                   "`nvmenc trace pack`\n";
+      return 2;
+    }
+    std::vector<ReplaySweepCell> cells;
+    for (const std::string& name : split_csv(args.schemes)) {
+      ReplaySweepCell cell;
+      cell.label = name;
+      cell.encode_latency_ns = encode_latency_ns(scheme_by_name(name), model);
+      cells.push_back(cell);
+    }
+    const std::vector<ReplaySweepCell> out =
+        replay_sweep(args.in, cells, replay, mem, args.jobs);
+    TextTable table{{"scheme", "encode ns", "GB/s", "p50", "p95", "p99",
+                     "p99.9", "stalls"}};
+    for (const ReplaySweepCell& cell : out) {
+      const MemSysStats& s = cell.result.stats;
+      const LatencyHistogram& h = s.read_latency_ns;
+      table.add_row({cell.label, TextTable::fmt(cell.encode_latency_ns, 2),
+                     TextTable::fmt(s.sustained_gbps(), 3),
+                     TextTable::fmt(h.p50(), 0), TextTable::fmt(h.p95(), 0),
+                     TextTable::fmt(h.p99(), 0), TextTable::fmt(h.p999(), 0),
+                     std::to_string(s.write_stalls)});
+    }
+    table.print(std::cout);
+    return 0;
+  }
+
+  mem.org.encode_latency_ns =
+      encode_latency_ns(scheme_by_name(args.scheme), model);
+  TraceReplayResult r;
+  if (args.format == "text") {
+    const std::vector<MemAccess> accesses = read_text_trace(args.in);
+    r = replay_trace(accesses, replay, mem);
+  } else {
+    const MappedTrace trace{args.in};
+    r = replay_trace(trace, replay, mem);
+  }
+  const MemSysStats& s = r.stats;
+  const LatencyHistogram& h = s.read_latency_ns;
+  TextTable table{{"metric", "value"}};
+  table.add_row({"trace", args.in});
+  table.add_row({"accesses", std::to_string(r.accesses)});
+  table.add_row({"inter-arrival (ns)",
+                 TextTable::fmt(replay.inter_arrival_ns, 2)});
+  table.add_row({"offered GB/s",
+                 TextTable::fmt(static_cast<double>(kLineBytes) /
+                                    replay.inter_arrival_ns,
+                                3)});
+  table.add_row({"encode latency (ns)",
+                 TextTable::fmt(mem.org.encode_latency_ns, 2)});
+  table.add_row({"reads / writes",
+                 std::to_string(s.reads) + " / " + std::to_string(s.writes)});
+  table.add_row({"forwarded reads", std::to_string(s.forwarded_reads)});
+  table.add_row({"coalesced writes", std::to_string(s.coalesced_writes)});
+  table.add_row({"write stalls", std::to_string(s.write_stalls)});
+  table.add_row({"drain episodes", std::to_string(s.drains)});
+  table.add_row({"row hit rate", TextTable::fmt(r.timing.row_hit_rate(), 3)});
+  table.add_row({"sustained GB/s", TextTable::fmt(s.sustained_gbps(), 3)});
+  table.add_row({"read latency mean (ns)", TextTable::fmt(h.mean(), 1)});
+  table.add_row({"read latency p50 (ns)", TextTable::fmt(h.p50(), 0)});
+  table.add_row({"read latency p95 (ns)", TextTable::fmt(h.p95(), 0)});
+  table.add_row({"read latency p99 (ns)", TextTable::fmt(h.p99(), 0)});
+  table.add_row({"read latency p99.9 (ns)", TextTable::fmt(h.p999(), 0)});
+  table.add_row({"makespan (ms)", TextTable::fmt(r.makespan_ns / 1e6, 3)});
+  table.print(std::cout);
+  return 0;
+}
+
 int cmd_replay(const Args& args) {
+  if (args.memsys) return cmd_replay_memsys(args);
   if (args.in.empty()) usage();
   const Scheme scheme = scheme_by_name(args.scheme);
   if (is_paper_model(scheme)) {
@@ -497,7 +630,15 @@ int main(int argc, char** argv) {
     if (args.command == "list") return cmd_list();
     if (args.command == "run") return cmd_run(args);
     if (args.command == "matrix") return cmd_matrix(args);
-    if (args.command == "trace") return cmd_trace(args);
+    if (args.command == "trace") {
+      if (args.subcommand == "pack") return cmd_trace_pack(args);
+      if (!args.subcommand.empty()) {
+        std::cerr << "unknown trace subcommand '" << args.subcommand
+                  << "'\n";
+        usage();
+      }
+      return cmd_trace(args);
+    }
     if (args.command == "replay") return cmd_replay(args);
     if (args.command == "perf") return cmd_perf(args);
     if (args.command == "loadgen") return cmd_loadgen(args);
