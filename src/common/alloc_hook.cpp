@@ -1,0 +1,35 @@
+#include "common/alloc_hook.hpp"
+
+#include <atomic>
+
+namespace nvmenc {
+
+namespace {
+std::atomic<u64> g_count{0};
+std::atomic<u64> g_bytes{0};
+std::atomic<bool> g_armed{false};
+}  // namespace
+
+u64 alloc_hook_count() noexcept {
+  return g_count.load(std::memory_order_relaxed);
+}
+
+u64 alloc_hook_bytes() noexcept {
+  return g_bytes.load(std::memory_order_relaxed);
+}
+
+void alloc_hook_arm(bool on) noexcept {
+  g_armed.store(on, std::memory_order_relaxed);
+}
+
+bool alloc_hook_armed() noexcept {
+  return g_armed.load(std::memory_order_relaxed);
+}
+
+void alloc_hook_record(std::size_t bytes) noexcept {
+  if (!g_armed.load(std::memory_order_relaxed)) return;
+  g_count.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(static_cast<u64>(bytes), std::memory_order_relaxed);
+}
+
+}  // namespace nvmenc

@@ -1,0 +1,36 @@
+// Allocation-counting hook for the zero-allocation hot-path tests.
+//
+// The replay hot path (submit -> arbitrate -> complete) promises zero
+// steady-state heap allocations per access. That promise is enforced, not
+// asserted in prose: a test binary overrides the global operator new/delete
+// to call alloc_hook_record(), warms the memory system past its high-water
+// marks, arms the counter, and fails if another access allocates.
+//
+// The library itself never overrides operator new — only the dedicated
+// test binary does — so production binaries and sanitizer builds are
+// untouched. The counter is an atomic: workers on the thread pool count
+// too, which is what makes the sharded-replay epoch loop auditable.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace nvmenc {
+
+/// Total allocations recorded while armed (monotonic; never reset by
+/// disarming).
+[[nodiscard]] u64 alloc_hook_count() noexcept;
+
+/// Total bytes requested while armed.
+[[nodiscard]] u64 alloc_hook_bytes() noexcept;
+
+/// Arms/disarms counting. Disarmed (the default) makes record() a no-op,
+/// so setup and teardown allocations are invisible.
+void alloc_hook_arm(bool on) noexcept;
+[[nodiscard]] bool alloc_hook_armed() noexcept;
+
+/// Called by the test binary's operator new replacement.
+void alloc_hook_record(std::size_t bytes) noexcept;
+
+}  // namespace nvmenc

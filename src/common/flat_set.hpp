@@ -1,0 +1,112 @@
+// Fixed-capacity open-addressing set of u64 keys.
+//
+// The write queues index their queued line addresses for O(1)
+// forward/coalesce checks. std::unordered_set allocates a node per insert,
+// which the zero-allocation replay hot path cannot afford; FlatSetU64
+// allocates its whole table once at construction (the queue capacity is
+// known and bounded) and never again. Linear probing with backward-shift
+// deletion keeps probes short at the <= 50% load factor the sizing
+// guarantees, with no tombstone accumulation.
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace nvmenc {
+
+class FlatSetU64 {
+ public:
+  /// Holds at most `capacity` keys; the table is sized to at least twice
+  /// that (next power of two), so the load factor never exceeds 1/2.
+  explicit FlatSetU64(usize capacity) : capacity_{capacity} {
+    require(capacity >= 1, "FlatSetU64 needs a positive capacity");
+    usize table = 8;
+    while (table < capacity * 2) table <<= 1;
+    keys_.resize(table, 0);
+    used_.resize(table, 0);
+    mask_ = table - 1;
+  }
+
+  /// Inserts `key`; returns false if it was already present. Throws when
+  /// the set is full (the caller's queue-capacity bound was violated).
+  bool insert(u64 key) {
+    usize i = slot_of(key);
+    while (used_[i]) {
+      if (keys_[i] == key) return false;
+      i = (i + 1) & mask_;
+    }
+    require(size_ < capacity_, "FlatSetU64 over capacity");
+    keys_[i] = key;
+    used_[i] = 1;
+    ++size_;
+    return true;
+  }
+
+  [[nodiscard]] bool contains(u64 key) const noexcept {
+    usize i = slot_of(key);
+    while (used_[i]) {
+      if (keys_[i] == key) return true;
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
+  /// Removes `key`; returns false if it was absent. Backward-shift
+  /// deletion: the probe cluster after the hole is compacted so lookups
+  /// never need tombstones.
+  bool erase(u64 key) {
+    usize i = slot_of(key);
+    while (true) {
+      if (!used_[i]) return false;
+      if (keys_[i] == key) break;
+      i = (i + 1) & mask_;
+    }
+    usize hole = i;
+    usize j = i;
+    while (true) {
+      j = (j + 1) & mask_;
+      if (!used_[j]) break;
+      const usize home = slot_of(keys_[j]);
+      // Move j into the hole iff its home position does not lie strictly
+      // between the hole and j (cyclically) — i.e. the shift keeps it
+      // reachable from its home by linear probing.
+      if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+        keys_[hole] = keys_[j];
+        hole = j;
+      }
+    }
+    used_[hole] = 0;
+    --size_;
+    return true;
+  }
+
+  [[nodiscard]] usize size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] usize capacity() const noexcept { return capacity_; }
+
+  void clear() noexcept {
+    for (usize i = 0; i < used_.size(); ++i) used_[i] = 0;
+    size_ = 0;
+  }
+
+ private:
+  [[nodiscard]] usize slot_of(u64 key) const noexcept {
+    // SplitMix64 finalizer: full-avalanche mix so clustered line
+    // addresses spread over the table.
+    u64 x = key + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<usize>(x) & mask_;
+  }
+
+  usize capacity_ = 0;
+  usize mask_ = 0;
+  usize size_ = 0;
+  std::vector<u64> keys_;
+  std::vector<u8> used_;
+};
+
+}  // namespace nvmenc

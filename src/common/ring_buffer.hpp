@@ -1,0 +1,107 @@
+// Growable FIFO ring buffer with amortized-zero heap traffic.
+//
+// The memory-system hot path (ChannelShard) must not allocate per access:
+// std::deque allocates a block roughly every page of churn, which shows up
+// directly in the replay allocation-hook test. RingBuffer keeps one
+// power-of-two backing array and only reallocates on growth, so once a
+// queue has seen its high-water mark the steady state is allocation-free.
+// Elements stay in FIFO order; erase_at() preserves relative order (the
+// FR-FCFS pick can remove from the middle of the arrival queue).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace nvmenc {
+
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+  explicit RingBuffer(usize initial_capacity) { reserve(initial_capacity); }
+
+  /// Ensures capacity for at least `n` elements (rounded up to a power of
+  /// two) without changing the contents.
+  void reserve(usize n) {
+    if (n <= storage_.size()) return;
+    usize cap = 1;
+    while (cap < n) cap <<= 1;
+    regrow(cap);
+  }
+
+  void push_back(const T& value) {
+    if (size_ == storage_.size()) regrow(storage_.empty() ? 8 : storage_.size() * 2);
+    storage_[(head_ + size_) & mask_] = value;
+    ++size_;
+  }
+
+  [[nodiscard]] T& front() {
+    require(size_ > 0, "RingBuffer::front on empty buffer");
+    return storage_[head_];
+  }
+  [[nodiscard]] const T& front() const {
+    require(size_ > 0, "RingBuffer::front on empty buffer");
+    return storage_[head_];
+  }
+
+  void pop_front() {
+    require(size_ > 0, "RingBuffer::pop_front on empty buffer");
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  /// Logical index: [0] is the front (oldest) element.
+  [[nodiscard]] T& operator[](usize i) {
+    NVMENC_DCHECK(i < size_, "RingBuffer index out of range");
+    return storage_[(head_ + i) & mask_];
+  }
+  [[nodiscard]] const T& operator[](usize i) const {
+    NVMENC_DCHECK(i < size_, "RingBuffer index out of range");
+    return storage_[(head_ + i) & mask_];
+  }
+
+  /// Removes the element at logical index `i`, preserving the relative
+  /// order of the rest (shifts the shorter side).
+  void erase_at(usize i) {
+    require(i < size_, "RingBuffer::erase_at out of range");
+    if (i < size_ / 2) {
+      // Shift the front half forward by one.
+      for (usize j = i; j > 0; --j) (*this)[j] = std::move((*this)[j - 1]);
+      head_ = (head_ + 1) & mask_;
+    } else {
+      // Shift the back half backward by one.
+      for (usize j = i; j + 1 < size_; ++j) {
+        (*this)[j] = std::move((*this)[j + 1]);
+      }
+    }
+    --size_;
+  }
+
+  [[nodiscard]] usize size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] usize capacity() const noexcept { return storage_.size(); }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  void regrow(usize cap) {
+    std::vector<T> next(cap);
+    for (usize i = 0; i < size_; ++i) next[i] = std::move((*this)[i]);
+    storage_ = std::move(next);
+    head_ = 0;
+    mask_ = cap - 1;
+  }
+
+  std::vector<T> storage_;
+  usize head_ = 0;
+  usize size_ = 0;
+  usize mask_ = 0;
+};
+
+}  // namespace nvmenc

@@ -38,6 +38,13 @@ class RunningStat {
     return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
   }
 
+  /// Folds `other` into this accumulator (Chan et al. pairwise combine).
+  /// Count/min/max are exact; mean and m2 are the standard parallel
+  /// update, so per-shard accumulators merged in a FIXED order (channel
+  /// id) give one deterministic result regardless of how many threads
+  /// produced them.
+  void merge(const RunningStat& other) noexcept;
+
   /// Exact state equality — the determinism tests' "bit-identical" check.
   [[nodiscard]] bool operator==(const RunningStat&) const = default;
 

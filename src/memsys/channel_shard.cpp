@@ -1,0 +1,250 @@
+#include "memsys/channel_shard.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "memsys/memory_system.hpp"
+
+namespace nvmenc {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr usize kNone = ~usize{0};
+// Pre-reservation so steady-state traffic never grows a container. The
+// write queue is hard-bounded by capacity; reads/parked/completions grow
+// to a workload high-water mark during warmup and then stay flat.
+constexpr usize kReadReserve = 1024;
+constexpr usize kParkedReserve = 256;
+constexpr usize kCompletionReserve = 1024;
+}  // namespace
+
+ChannelShard::ChannelShard(const MemSysConfig& config, usize channel)
+    : channel_{channel},
+      write_queue_capacity_{config.write_queue_capacity},
+      high_watermark_{config.high_watermark},
+      low_watermark_{config.low_watermark},
+      t_cmd_ns_{config.t_cmd_ns},
+      forward_ns_{config.forward_ns},
+      starvation_cap_ns_{config.starvation_cap_ns},
+      opportunistic_writes_{config.opportunistic_writes},
+      timing_{config.org},
+      queued_lines_{config.write_queue_capacity} {
+  require(channel < config.org.channels, "shard channel out of range");
+  reads_.reserve(kReadReserve);
+  writes_.reserve(write_queue_capacity_);
+  parked_.reserve(kParkedReserve);
+  completions_.reserve(kCompletionReserve);
+}
+
+void ChannelShard::push_completion(const MemSysCompletion& completion) {
+  completions_.push(completion);
+  stats_.last_completion_ns =
+      std::max(stats_.last_completion_ns, completion.time_ns);
+}
+
+void ChannelShard::accept_write(u64 ticket, u64 line_addr, double arrival,
+                                double accept_time) {
+  ++stats_.writes;
+  if (queued_lines_.contains(line_addr)) {
+    ++stats_.coalesced_writes;
+  } else {
+    writes_.push_back(
+        {line_addr, accept_time, timing_.decompose(line_addr)});
+    queued_lines_.insert(line_addr);
+    if (!draining_ && writes_.size() >= high_watermark_) {
+      draining_ = true;
+      ++stats_.drains;
+    }
+  }
+  stats_.write_accept_ns.add(accept_time - arrival);
+  push_completion({ticket, accept_time, ReqKind::kWrite, false});
+}
+
+void ChannelShard::submit_with_ticket(u64 ticket, u64 line_addr,
+                                      ReqKind kind, double now_ns) {
+  NVMENC_DCHECK(channel_of_line(timing_.org(), line_addr) == channel_,
+                "line routed to the wrong channel shard");
+  if (kind == ReqKind::kRead) {
+    ++stats_.reads;
+    if (queued_lines_.contains(line_addr)) {
+      // Read-around-write: the line is still buffered on chip.
+      ++stats_.forwarded_reads;
+      stats_.read_latency_ns.add(forward_ns_);
+      stats_.read_latency_stat.add(forward_ns_);
+      push_completion({ticket, now_ns + forward_ns_, ReqKind::kRead, true});
+    } else {
+      reads_.push_back(
+          {ticket, line_addr, now_ns, timing_.decompose(line_addr)});
+    }
+  } else {
+    if (queued_lines_.contains(line_addr) ||
+        writes_.size() < write_queue_capacity_) {
+      accept_write(ticket, line_addr, now_ns, now_ns);
+    } else {
+      // Queue full: the write (and the CPU behind it) stalls until a
+      // drain frees a slot.
+      ++stats_.write_stalls;
+      parked_.push_back({ticket, line_addr, now_ns});
+    }
+  }
+}
+
+u64 ChannelShard::submit(u64 line_addr, ReqKind kind, double now_ns) {
+  const u64 ticket = next_ticket_++;
+  submit_with_ticket(ticket, line_addr, kind, now_ns);
+  return ticket;
+}
+
+double ChannelShard::wake() const {
+  const bool drain_mode = draining_ && !writes_.empty();
+  const bool write_mode =
+      drain_mode || (reads_.empty() && !writes_.empty() &&
+                     (opportunistic_writes_ || flushing_));
+  double wake = kInf;
+  if (!drain_mode) {
+    for (const PendingRead& r : reads_) {
+      wake = std::min(
+          wake, std::max(r.arrival,
+                         timing_.bank_free_at(r.where.channel,
+                                              r.where.bank)));
+    }
+  }
+  if (write_mode) {
+    for (const QueuedWrite& w : writes_) {
+      wake = std::min(
+          wake, std::max(w.arrival,
+                         timing_.bank_free_at(w.where.channel,
+                                              w.where.bank)));
+    }
+  }
+  if (wake == kInf) return kInf;
+  return std::max(wake, slot_free_at_);
+}
+
+void ChannelShard::arbitrate(double now) {
+  const bool drain_mode = draining_ && !writes_.empty();
+  const bool write_mode =
+      drain_mode || (reads_.empty() && !writes_.empty() &&
+                     (opportunistic_writes_ || flushing_));
+  if (write_mode) {
+    issue_write(now);
+  } else {
+    issue_read(now);
+  }
+}
+
+void ChannelShard::issue_read(double now) {
+  usize oldest = kNone;
+  usize row_hit = kNone;
+  for (usize i = 0; i < reads_.size(); ++i) {
+    const PendingRead& r = reads_[i];
+    if (r.arrival > now) continue;
+    if (timing_.bank_free_at(r.where.channel, r.where.bank) > now) continue;
+    if (oldest == kNone) oldest = i;
+    if (row_hit == kNone &&
+        timing_.row_open(r.where.channel, r.where.bank, r.where.row)) {
+      row_hit = i;
+    }
+  }
+  if (oldest == kNone) {
+    // Unreachable by the wake contract; guarantee progress regardless.
+    slot_free_at_ = now + std::max(t_cmd_ns_, 1.0);
+    return;
+  }
+  usize pick = oldest;
+  if (row_hit != kNone &&
+      now - reads_[oldest].arrival <= starvation_cap_ns_) {
+    pick = row_hit;  // FR-FCFS row-hit preference, age-capped
+  }
+  const PendingRead r = reads_[pick];
+  reads_.erase(reads_.begin() + static_cast<std::ptrdiff_t>(pick));
+  const double done = timing_.access(r.line_addr, MemOp::kRead, now);
+  const double latency = done - r.arrival;
+  stats_.read_latency_ns.add(latency);
+  stats_.read_latency_stat.add(latency);
+  push_completion({r.ticket, done, ReqKind::kRead, false});
+  slot_free_at_ = now + t_cmd_ns_;
+}
+
+void ChannelShard::issue_write(double now) {
+  usize oldest = kNone;
+  usize row_hit = kNone;
+  for (usize i = 0; i < writes_.size(); ++i) {
+    const QueuedWrite& w = writes_[i];
+    if (w.arrival > now) continue;
+    if (timing_.bank_free_at(w.where.channel, w.where.bank) > now) continue;
+    if (oldest == kNone) oldest = i;
+    if (row_hit == kNone &&
+        timing_.row_open(w.where.channel, w.where.bank, w.where.row)) {
+      row_hit = i;
+      break;  // row hits beat age for background writes
+    }
+  }
+  if (oldest == kNone) {
+    slot_free_at_ = now + std::max(t_cmd_ns_, 1.0);
+    return;
+  }
+  const usize pick = row_hit != kNone ? row_hit : oldest;
+  const QueuedWrite w = writes_[pick];
+  writes_.erase(writes_.begin() + static_cast<std::ptrdiff_t>(pick));
+  queued_lines_.erase(w.line_addr);
+  // Encode latency (MemOrg::encode_latency_ns) is charged inside: the
+  // scheme's encoder occupies the bank before the array write starts.
+  const double done = timing_.access(w.line_addr, MemOp::kWrite, now);
+  ++stats_.array_writes;
+  stats_.last_completion_ns = std::max(stats_.last_completion_ns, done);
+  slot_free_at_ = now + t_cmd_ns_;
+  // The freed slot un-parks stalled writers (their CPUs resume now).
+  while (!parked_.empty() && writes_.size() < write_queue_capacity_) {
+    const ParkedWrite p = parked_.front();
+    parked_.pop_front();
+    // The slot may free before the parked write even arrives (arbitration
+    // can run ahead of arrivals the caller already submitted).
+    accept_write(p.ticket, p.line_addr, p.arrival,
+                 std::max(now, p.arrival));
+  }
+  if (draining_ && parked_.empty() && writes_.size() <= low_watermark_) {
+    draining_ = false;
+  }
+}
+
+MemSysCompletion ChannelShard::pop_completion() {
+  const MemSysCompletion top = completions_.top();
+  completions_.pop();
+  return top;
+}
+
+std::optional<MemSysCompletion> ChannelShard::step_until(double t_ns) {
+  for (;;) {
+    const double next_completion =
+        completions_.empty() ? kInf : completions_.top().time_ns;
+    // Arbitrating past the earliest undelivered completion is unsafe: the
+    // caller's reaction to it may inject arrivals in between.
+    const double limit = std::min(t_ns, next_completion);
+    const double w = wake();
+    if (w < kInf && w <= limit) {
+      arbitrate(w);
+      continue;
+    }
+    if (!completions_.empty() && next_completion <= t_ns) {
+      return pop_completion();
+    }
+    return std::nullopt;
+  }
+}
+
+double ChannelShard::drain_all() {
+  flushing_ = true;
+  while (step_until(kInf).has_value()) {
+  }
+  flushing_ = false;
+  return stats_.last_completion_ns;
+}
+
+bool ChannelShard::idle() const noexcept {
+  return completions_.empty() && reads_.empty() && writes_.empty() &&
+         parked_.empty();
+}
+
+}  // namespace nvmenc

@@ -1,0 +1,166 @@
+// One channel of the memory system: queues, banks, and statistics with no
+// shared mutable state.
+//
+// A line address maps to exactly one channel (channel_of_line), and every
+// structure a request touches after that routing — read queue, write
+// queue, forward/coalesce index, bank and bus timing state, statistics —
+// lives inside that channel's shard. This is the fact the parallel
+// simulation rests on: a shard's evolution is a pure function of its own
+// arrival sequence, so shards may be advanced on any thread, in any
+// relative order, and produce bit-identical state. The serial MemorySystem
+// front-end arbitrates shards in global virtual-time order (closed-loop
+// generators need cross-channel completion ordering); the sharded replay
+// and pinned-loadgen drivers advance shards concurrently in bounded
+// virtual-time epochs and merge statistics in channel-id order.
+//
+// The per-access hot path is allocation-free in steady state: queues are
+// RingBuffer / reserved vectors (amortized-zero growth to a high-water
+// mark), the forward/coalesce index is a fixed-capacity FlatSetU64, and
+// the completion heap reuses its backing storage. The allocation-hook
+// test (tests/test_alloc_hot_path.cpp) enforces this with a counting
+// operator new.
+#pragma once
+
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/flat_set.hpp"
+#include "common/ring_buffer.hpp"
+#include "memsys/request.hpp"
+#include "nvm/timing.hpp"
+
+namespace nvmenc {
+
+struct MemSysConfig;  // memory_system.hpp
+
+/// Per-channel scheduling engine. Construct via MemorySystem (which owns
+/// one shard per channel) rather than directly; the shard trusts its
+/// caller to route only its own channel's addresses (checked in debug
+/// builds).
+class ChannelShard {
+ public:
+  ChannelShard(const MemSysConfig& config, usize channel);
+
+  ChannelShard(const ChannelShard&) = delete;
+  ChannelShard& operator=(const ChannelShard&) = delete;
+  ChannelShard(ChannelShard&&) = default;
+  ChannelShard& operator=(ChannelShard&&) = default;
+
+  /// Submits a request with a caller-allocated ticket (the serial
+  /// front-end hands out globally increasing tickets; sharded drivers use
+  /// submit(), below). Arrivals must be nondecreasing in time and never
+  /// earlier than a completion this shard already returned.
+  void submit_with_ticket(u64 ticket, u64 line_addr, ReqKind kind,
+                          double now_ns);
+
+  /// Submits with a shard-local ticket. Ticket VALUES differ from the
+  /// serial front-end's, but their relative order within the shard — the
+  /// only thing the completion tie-break and statistics depend on — is
+  /// identical, which is why sharded and serial runs match bit for bit.
+  u64 submit(u64 line_addr, ReqKind kind, double now_ns);
+
+  /// Local pump: same contract as MemorySystem::step_until, restricted to
+  /// this shard's requests.
+  std::optional<MemSysCompletion> step_until(double t_ns);
+
+  /// Flushes everything pending on this shard; returns the time its last
+  /// operation finished (or the last recorded completion when idle).
+  double drain_all();
+
+  // --- pieces the serial cross-channel arbiter composes ---
+
+  /// Earliest time this shard could issue a command (+inf if nothing is
+  /// pending or allowed).
+  [[nodiscard]] double wake() const;
+  /// Issues the best eligible command at `now` (== wake()).
+  void arbitrate(double now);
+  [[nodiscard]] bool has_completion() const noexcept {
+    return !completions_.empty();
+  }
+  /// Earliest undelivered completion (call only when has_completion()).
+  [[nodiscard]] const MemSysCompletion& top_completion() const {
+    return completions_.top();
+  }
+  MemSysCompletion pop_completion();
+  /// drain_all-mode flag: writes may issue below the watermark.
+  void set_flushing(bool on) noexcept { flushing_ = on; }
+
+  [[nodiscard]] const MemSysStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const TimingStats& timing_stats() const noexcept {
+    return timing_.stats();
+  }
+  [[nodiscard]] usize channel() const noexcept { return channel_; }
+  [[nodiscard]] usize write_queue_depth() const noexcept {
+    return writes_.size();
+  }
+  [[nodiscard]] usize pending_reads() const noexcept { return reads_.size(); }
+  [[nodiscard]] bool idle() const noexcept;
+
+ private:
+  struct PendingRead {
+    u64 ticket = 0;
+    u64 line_addr = 0;
+    double arrival = 0.0;
+    BankAddress where;
+  };
+  struct QueuedWrite {
+    u64 line_addr = 0;
+    double arrival = 0.0;
+    BankAddress where;
+  };
+  struct ParkedWrite {
+    u64 ticket = 0;
+    u64 line_addr = 0;
+    double arrival = 0.0;
+  };
+  struct LaterCompletion {
+    bool operator()(const MemSysCompletion& a,
+                    const MemSysCompletion& b) const noexcept {
+      if (a.time_ns != b.time_ns) return a.time_ns > b.time_ns;
+      return a.ticket > b.ticket;  // deterministic tie-break
+    }
+  };
+  /// priority_queue with pre-reservable backing storage (the adaptor
+  /// hides the container; steady-state pushes must not reallocate).
+  class CompletionQueue
+      : public std::priority_queue<MemSysCompletion,
+                                   std::vector<MemSysCompletion>,
+                                   LaterCompletion> {
+   public:
+    void reserve(usize n) { c.reserve(n); }
+  };
+
+  void issue_read(double now);
+  void issue_write(double now);
+  void accept_write(u64 ticket, u64 line_addr, double arrival,
+                    double accept_time);
+  void push_completion(const MemSysCompletion& completion);
+
+  // Shard-owned timing: a full MemoryTimingModel (the exact arithmetic
+  // the serial system always used) of which only this shard's channel is
+  // ever exercised, so its TimingStats are precisely this channel's
+  // contribution.
+  usize channel_ = 0;
+  usize write_queue_capacity_ = 0;
+  usize high_watermark_ = 0;
+  usize low_watermark_ = 0;
+  double t_cmd_ns_ = 0.0;
+  double forward_ns_ = 0.0;
+  double starvation_cap_ns_ = 0.0;
+  bool opportunistic_writes_ = true;
+  MemoryTimingModel timing_;
+
+  std::vector<PendingRead> reads_;   ///< arrival order; erase keeps it
+  std::vector<QueuedWrite> writes_;  ///< bounded by write_queue_capacity
+  FlatSetU64 queued_lines_;          ///< forward/coalesce index
+  RingBuffer<ParkedWrite> parked_;   ///< arrivals beyond capacity
+  CompletionQueue completions_;
+  MemSysStats stats_;
+  bool draining_ = false;
+  bool flushing_ = false;
+  double slot_free_at_ = 0.0;
+  u64 next_ticket_ = 0;
+};
+
+}  // namespace nvmenc

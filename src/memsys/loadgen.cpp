@@ -1,5 +1,6 @@
 #include "memsys/loadgen.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <queue>
@@ -7,6 +8,9 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "runner/parallel_for.hpp"
+#include "runner/parallel_runner.hpp"
+#include "runner/thread_pool.hpp"
 
 namespace nvmenc {
 
@@ -159,7 +163,105 @@ LoadResult run_load(const LoadGenConfig& load, const MemSysConfig& mem) {
   LoadResult result;
   result.makespan_ns = sys.drain_all();
   result.stats = sys.stats();
-  result.timing = sys.timing().stats();
+  result.timing = sys.timing_stats();
+  return result;
+}
+
+u64 pin_line_to_channel(const MemOrg& org, u64 addr,
+                        usize channel) noexcept {
+  const u64 row_id = addr / org.row_bytes;
+  const u64 pinned_row = (row_id / org.channels) * org.channels + channel;
+  return pinned_row * org.row_bytes + addr % org.row_bytes;
+}
+
+LoadResult run_load_sharded(const LoadGenConfig& load,
+                            const MemSysConfig& mem, usize jobs) {
+  load.validate();
+  mem.validate();
+  const usize nch = mem.org.channels;
+
+  // Per-user quota: split the global request budget evenly, earlier users
+  // absorbing the remainder, so the total is exactly load.requests.
+  std::vector<u64> quota(load.users);
+  for (usize u = 0; u < load.users; ++u) {
+    quota[u] = load.requests / load.users +
+               (u < load.requests % load.users ? 1 : 0);
+  }
+
+  // One shared sampler sized to the largest per-user quota, so each user's
+  // own issue counter drives the diurnal phase clock through all phases.
+  LoadGenConfig per_user = load;
+  per_user.requests = std::max<u64>(quota.empty() ? 1 : quota[0], 1);
+  const AddressSampler sampler{per_user};
+
+  // Fork every user's generator up front in user order — (seed, user)
+  // keyed, independent of shard scheduling.
+  SplitMix64 sm{load.seed};
+  std::vector<Xoshiro256> rngs;
+  rngs.reserve(load.users);
+  for (usize u = 0; u < load.users; ++u) rngs.emplace_back(sm.next());
+
+  std::vector<ChannelShard> shards;
+  shards.reserve(nch);
+  for (usize c = 0; c < nch; ++c) shards.emplace_back(mem, c);
+
+  // Each shard's closed loop touches only its own users (u % nch == c),
+  // their rngs, and its shard — no shared mutable state across workers.
+  auto run_shard = [&](usize c) {
+    ChannelShard& shard = shards[c];
+    const auto think = [&](usize u) {
+      if (load.think_ns == 0.0) return 0.0;
+      return -load.think_ns * std::log(1.0 - rngs[u].next_double());
+    };
+
+    std::priority_queue<UserArrival, std::vector<UserArrival>, LaterArrival>
+        arrivals;
+    std::unordered_map<u64, usize> inflight;  // ticket -> user
+    std::vector<u64> issued(load.users, 0);   // only this shard's slots used
+    for (usize u = c; u < load.users; u += nch) {
+      if (quota[u] > 0) arrivals.push({think(u), u});
+    }
+    while (!arrivals.empty() || !inflight.empty()) {
+      const double next_arrival =
+          arrivals.empty() ? kInf : arrivals.top().time_ns;
+      if (const auto comp = shard.step_until(next_arrival)) {
+        const auto it = inflight.find(comp->ticket);
+        const usize u = it->second;
+        inflight.erase(it);
+        if (issued[u] < quota[u]) {
+          arrivals.push({comp->time_ns + think(u), u});
+        }
+        continue;
+      }
+      if (arrivals.empty()) break;
+      const UserArrival arr = arrivals.top();
+      arrivals.pop();
+      const usize u = arr.user;
+      const u64 addr = pin_line_to_channel(
+          mem.org, sampler.draw(rngs[u], issued[u]), c);
+      const ReqKind kind = rngs[u].next_bool(load.read_fraction)
+                               ? ReqKind::kRead
+                               : ReqKind::kWrite;
+      inflight.emplace(shard.submit(addr, kind, arr.time_ns), u);
+      ++issued[u];
+    }
+    (void)shard.drain_all();
+  };
+
+  const usize workers = std::min(resolve_jobs(jobs), nch);
+  if (workers <= 1) {
+    for (usize c = 0; c < nch; ++c) run_shard(c);
+  } else {
+    ThreadPool pool{workers};
+    parallel_for(pool, nch, run_shard);
+  }
+
+  LoadResult result;
+  for (usize c = 0; c < nch; ++c) {
+    result.stats.merge(shards[c].stats());
+    result.timing.merge(shards[c].timing_stats());
+  }
+  result.makespan_ns = result.stats.last_completion_ns;
   return result;
 }
 

@@ -80,11 +80,38 @@ struct LoadResult {
   MemSysStats stats;     ///< request-level counters + latency histograms
   TimingStats timing;    ///< array-level counters (row hits, bank latency)
   double makespan_ns = 0.0;  ///< last array operation finished
+
+  [[nodiscard]] bool operator==(const LoadResult&) const = default;
 };
 
 /// Runs the closed loop to completion (all requests issued, system fully
 /// drained) and returns the collected statistics.
 [[nodiscard]] LoadResult run_load(const LoadGenConfig& load,
                                   const MemSysConfig& mem);
+
+/// Remaps a line address into `channel`'s row group, preserving the
+/// within-row offset (rows interleave over channels in decompose, so this
+/// replaces the row's channel digit and nothing else). The sharded load
+/// generator pins each user's stream with this; exposed for the pinning
+/// property tests.
+[[nodiscard]] u64 pin_line_to_channel(const MemOrg& org, u64 addr,
+                                      usize channel) noexcept;
+
+/// Channel-sharded closed loop: user u is pinned to channel u % channels
+/// (its addresses are remapped into that channel's row groups, keeping
+/// the within-row offset and the pattern's popularity structure), and each
+/// shard runs its users' closed loop independently on one of `jobs`
+/// workers (0 = one per hardware context). Per-user request quotas split
+/// `requests` evenly (earlier users take the remainder), and each user's
+/// own issue counter drives its diurnal phase clock.
+///
+/// This is a different workload than run_load — pinning removes
+/// cross-channel interleaving by construction — but it is deterministic
+/// in the same strong sense: every stream is (seed, user)-keyed, shards
+/// share nothing, and statistics merge in channel-id order, so results
+/// are bit-identical for any `jobs` value.
+[[nodiscard]] LoadResult run_load_sharded(const LoadGenConfig& load,
+                                          const MemSysConfig& mem,
+                                          usize jobs);
 
 }  // namespace nvmenc

@@ -22,238 +22,101 @@ void MemSysConfig::validate() const {
           "memory-system times must be non-negative");
 }
 
-MemorySystem::MemorySystem(MemSysConfig config)
-    : config_{config}, timing_{config.org} {
+MemorySystem::MemorySystem(MemSysConfig config) : config_{config} {
   config_.validate();
-  channels_.resize(config_.org.channels);
-}
-
-void MemorySystem::push_completion(const MemSysCompletion& completion) {
-  completions_.push(completion);
-  stats_.last_completion_ns =
-      std::max(stats_.last_completion_ns, completion.time_ns);
-}
-
-void MemorySystem::accept_write(Channel& ch, u64 ticket, u64 line_addr,
-                                double arrival, double accept_time) {
-  ++stats_.writes;
-  if (ch.queued_lines.contains(line_addr)) {
-    ++stats_.coalesced_writes;
-  } else {
-    ch.writes.push_back(
-        {line_addr, accept_time, timing_.decompose(line_addr)});
-    ch.queued_lines.insert(line_addr);
-    if (!ch.draining && ch.writes.size() >= config_.high_watermark) {
-      ch.draining = true;
-      ++stats_.drains;
-    }
+  shards_.reserve(config_.org.channels);
+  for (usize c = 0; c < config_.org.channels; ++c) {
+    shards_.emplace_back(config_, c);
   }
-  stats_.write_accept_ns.add(accept_time - arrival);
-  push_completion({ticket, accept_time, ReqKind::kWrite, false});
 }
 
 u64 MemorySystem::submit(u64 line_addr, ReqKind kind, double now_ns) {
   const u64 ticket = next_ticket_++;
-  const BankAddress where = timing_.decompose(line_addr);
-  Channel& ch = channels_[where.channel];
-  if (kind == ReqKind::kRead) {
-    ++stats_.reads;
-    if (ch.queued_lines.contains(line_addr)) {
-      // Read-around-write: the line is still buffered on chip.
-      ++stats_.forwarded_reads;
-      stats_.read_latency_ns.add(config_.forward_ns);
-      stats_.read_latency_stat.add(config_.forward_ns);
-      push_completion(
-          {ticket, now_ns + config_.forward_ns, ReqKind::kRead, true});
-    } else {
-      ch.reads.push_back({ticket, line_addr, now_ns, where});
-    }
-  } else {
-    if (ch.queued_lines.contains(line_addr) ||
-        ch.writes.size() < config_.write_queue_capacity) {
-      accept_write(ch, ticket, line_addr, now_ns, now_ns);
-    } else {
-      // Queue full: the write (and the CPU behind it) stalls until a
-      // drain frees a slot.
-      ++stats_.write_stalls;
-      ch.parked.push_back({ticket, line_addr, now_ns});
-    }
-  }
+  shards_[channel_of(line_addr)].submit_with_ticket(ticket, line_addr, kind,
+                                                    now_ns);
   return ticket;
-}
-
-double MemorySystem::channel_wake(usize c) const {
-  const Channel& ch = channels_[c];
-  const bool drain_mode = ch.draining && !ch.writes.empty();
-  const bool write_mode =
-      drain_mode || (ch.reads.empty() && !ch.writes.empty() &&
-                     (config_.opportunistic_writes || flushing_));
-  double wake = kInf;
-  if (!drain_mode) {
-    for (const PendingRead& r : ch.reads) {
-      wake = std::min(
-          wake, std::max(r.arrival,
-                         timing_.bank_free_at(r.where.channel,
-                                              r.where.bank)));
-    }
-  }
-  if (write_mode) {
-    for (const QueuedWrite& w : ch.writes) {
-      wake = std::min(
-          wake, std::max(w.arrival,
-                         timing_.bank_free_at(w.where.channel,
-                                              w.where.bank)));
-    }
-  }
-  if (wake == kInf) return kInf;
-  return std::max(wake, ch.slot_free_at);
-}
-
-void MemorySystem::arbitrate(usize c, double now) {
-  const Channel& ch = channels_[c];
-  const bool drain_mode = ch.draining && !ch.writes.empty();
-  const bool write_mode =
-      drain_mode || (ch.reads.empty() && !ch.writes.empty() &&
-                     (config_.opportunistic_writes || flushing_));
-  if (write_mode) {
-    issue_write(c, now);
-  } else {
-    issue_read(c, now);
-  }
-}
-
-void MemorySystem::issue_read(usize c, double now) {
-  Channel& ch = channels_[c];
-  usize oldest = kNone;
-  usize row_hit = kNone;
-  for (usize i = 0; i < ch.reads.size(); ++i) {
-    const PendingRead& r = ch.reads[i];
-    if (r.arrival > now) continue;
-    if (timing_.bank_free_at(r.where.channel, r.where.bank) > now) continue;
-    if (oldest == kNone) oldest = i;
-    if (row_hit == kNone &&
-        timing_.row_open(r.where.channel, r.where.bank, r.where.row)) {
-      row_hit = i;
-    }
-  }
-  if (oldest == kNone) {
-    // Unreachable by the wake contract; guarantee progress regardless.
-    ch.slot_free_at = now + std::max(config_.t_cmd_ns, 1.0);
-    return;
-  }
-  usize pick = oldest;
-  if (row_hit != kNone &&
-      now - ch.reads[oldest].arrival <= config_.starvation_cap_ns) {
-    pick = row_hit;  // FR-FCFS row-hit preference, age-capped
-  }
-  const PendingRead r = ch.reads[pick];
-  ch.reads.erase(ch.reads.begin() + static_cast<std::ptrdiff_t>(pick));
-  const double done = timing_.access(r.line_addr, MemOp::kRead, now);
-  const double latency = done - r.arrival;
-  stats_.read_latency_ns.add(latency);
-  stats_.read_latency_stat.add(latency);
-  push_completion({r.ticket, done, ReqKind::kRead, false});
-  ch.slot_free_at = now + config_.t_cmd_ns;
-}
-
-void MemorySystem::issue_write(usize c, double now) {
-  Channel& ch = channels_[c];
-  usize oldest = kNone;
-  usize row_hit = kNone;
-  for (usize i = 0; i < ch.writes.size(); ++i) {
-    const QueuedWrite& w = ch.writes[i];
-    if (w.arrival > now) continue;
-    if (timing_.bank_free_at(w.where.channel, w.where.bank) > now) continue;
-    if (oldest == kNone) oldest = i;
-    if (row_hit == kNone &&
-        timing_.row_open(w.where.channel, w.where.bank, w.where.row)) {
-      row_hit = i;
-      break;  // row hits beat age for background writes
-    }
-  }
-  if (oldest == kNone) {
-    ch.slot_free_at = now + std::max(config_.t_cmd_ns, 1.0);
-    return;
-  }
-  const usize pick = row_hit != kNone ? row_hit : oldest;
-  const QueuedWrite w = ch.writes[pick];
-  ch.writes.erase(ch.writes.begin() + static_cast<std::ptrdiff_t>(pick));
-  ch.queued_lines.erase(w.line_addr);
-  // Encode latency (MemOrg::encode_latency_ns) is charged inside: the
-  // scheme's encoder occupies the bank before the array write starts.
-  const double done = timing_.access(w.line_addr, MemOp::kWrite, now);
-  ++stats_.array_writes;
-  stats_.last_completion_ns = std::max(stats_.last_completion_ns, done);
-  ch.slot_free_at = now + config_.t_cmd_ns;
-  // The freed slot un-parks stalled writers (their CPUs resume now).
-  while (!ch.parked.empty() &&
-         ch.writes.size() < config_.write_queue_capacity) {
-    const ParkedWrite p = ch.parked.front();
-    ch.parked.pop_front();
-    // The slot may free before the parked write even arrives (arbitration
-    // can run ahead of arrivals the caller already submitted).
-    accept_write(ch, p.ticket, p.line_addr, p.arrival,
-                 std::max(now, p.arrival));
-  }
-  if (ch.draining && ch.parked.empty() &&
-      ch.writes.size() <= config_.low_watermark) {
-    ch.draining = false;
-  }
 }
 
 std::optional<MemSysCompletion> MemorySystem::step_until(double t_ns) {
   for (;;) {
-    const double next_completion =
-        completions_.empty() ? kInf : completions_.top().time_ns;
+    // Earliest undelivered completion across shards, in (time, ticket)
+    // order — each shard's heap top is its own minimum, so the global
+    // minimum is the best of the tops.
+    usize comp_shard = kNone;
+    double next_completion = kInf;
+    u64 comp_ticket = 0;
+    for (usize c = 0; c < shards_.size(); ++c) {
+      if (!shards_[c].has_completion()) continue;
+      const MemSysCompletion& top = shards_[c].top_completion();
+      if (comp_shard == kNone || top.time_ns < next_completion ||
+          (top.time_ns == next_completion && top.ticket < comp_ticket)) {
+        comp_shard = c;
+        next_completion = top.time_ns;
+        comp_ticket = top.ticket;
+      }
+    }
     // Arbitrating past the earliest undelivered completion is unsafe: the
     // caller's reaction to it may inject arrivals in between.
     const double limit = std::min(t_ns, next_completion);
     usize best_channel = 0;
     double best_wake = kInf;
-    for (usize c = 0; c < channels_.size(); ++c) {
-      const double wake = channel_wake(c);
+    for (usize c = 0; c < shards_.size(); ++c) {
+      const double wake = shards_[c].wake();
       if (wake < best_wake) {
         best_wake = wake;
         best_channel = c;
       }
     }
     if (best_wake < kInf && best_wake <= limit) {
-      arbitrate(best_channel, best_wake);
+      shards_[best_channel].arbitrate(best_wake);
       continue;
     }
-    if (!completions_.empty() && next_completion <= t_ns) {
-      const MemSysCompletion top = completions_.top();
-      completions_.pop();
-      return top;
+    if (comp_shard != kNone && next_completion <= t_ns) {
+      return shards_[comp_shard].pop_completion();
     }
     return std::nullopt;
   }
 }
 
 double MemorySystem::drain_all() {
-  flushing_ = true;
+  for (ChannelShard& shard : shards_) shard.set_flushing(true);
   while (step_until(kInf).has_value()) {
   }
-  flushing_ = false;
-  return stats_.last_completion_ns;
+  double last = 0.0;
+  for (ChannelShard& shard : shards_) {
+    shard.set_flushing(false);
+    last = std::max(last, shard.stats().last_completion_ns);
+  }
+  return last;
+}
+
+MemSysStats MemorySystem::stats() const {
+  MemSysStats merged;
+  for (const ChannelShard& shard : shards_) merged.merge(shard.stats());
+  return merged;
+}
+
+TimingStats MemorySystem::timing_stats() const {
+  TimingStats merged;
+  for (const ChannelShard& shard : shards_) {
+    merged.merge(shard.timing_stats());
+  }
+  return merged;
 }
 
 usize MemorySystem::write_queue_depth(usize channel) const {
-  require(channel < channels_.size(), "channel index out of range");
-  return channels_[channel].writes.size();
+  require(channel < shards_.size(), "channel index out of range");
+  return shards_[channel].write_queue_depth();
 }
 
 usize MemorySystem::pending_reads(usize channel) const {
-  require(channel < channels_.size(), "channel index out of range");
-  return channels_[channel].reads.size();
+  require(channel < shards_.size(), "channel index out of range");
+  return shards_[channel].pending_reads();
 }
 
 bool MemorySystem::idle() const noexcept {
-  if (!completions_.empty()) return false;
-  for (const Channel& ch : channels_) {
-    if (!ch.reads.empty() || !ch.writes.empty() || !ch.parked.empty()) {
-      return false;
-    }
+  for (const ChannelShard& shard : shards_) {
+    if (!shard.idle()) return false;
   }
   return true;
 }

@@ -21,17 +21,21 @@
 //
 // Encode latency rides on writes via MemOrg::encode_latency_ns, so the
 // scheme's encoder cost inflates exactly the operations that monopolize
-// banks during drains. Simulation is single-threaded discrete-event in
-// virtual time and fully deterministic: parallelism belongs one level up
-// (sweep cells), keeping results --jobs-independent like the matrix.
+// banks during drains.
+//
+// All per-channel state lives in ChannelShard; MemorySystem routes
+// arrivals by channel_of_line and arbitrates shards in global virtual-time
+// order, so it stays fully deterministic. Because shards share nothing,
+// the replay and pinned-loadgen drivers can instead advance them
+// concurrently in bounded virtual-time epochs (see trace_replay.hpp) and
+// merge statistics in channel-id order — bit-identical to this serial
+// front-end at any --jobs value (DESIGN.md §10).
 #pragma once
 
-#include <deque>
 #include <optional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "memsys/channel_shard.hpp"
 #include "memsys/request.hpp"
 #include "nvm/timing.hpp"
 
@@ -74,10 +78,10 @@ class MemorySystem {
   /// one finished (or the last recorded completion when already idle).
   double drain_all();
 
-  [[nodiscard]] const MemSysStats& stats() const noexcept { return stats_; }
-  [[nodiscard]] const MemoryTimingModel& timing() const noexcept {
-    return timing_;
-  }
+  /// Front-end statistics merged across shards in channel-id order.
+  [[nodiscard]] MemSysStats stats() const;
+  /// Bank/bus-level statistics merged across shards in channel-id order.
+  [[nodiscard]] TimingStats timing_stats() const;
   [[nodiscard]] const MemSysConfig& config() const noexcept {
     return config_;
   }
@@ -85,58 +89,20 @@ class MemorySystem {
   [[nodiscard]] usize pending_reads(usize channel) const;
   [[nodiscard]] bool idle() const noexcept;
 
+  // --- shard access for the parallel epoch drivers ---
+  [[nodiscard]] usize shard_count() const noexcept { return shards_.size(); }
+  [[nodiscard]] ChannelShard& shard(usize c) { return shards_[c]; }
+  [[nodiscard]] const ChannelShard& shard(usize c) const {
+    return shards_[c];
+  }
+  [[nodiscard]] usize channel_of(u64 line_addr) const noexcept {
+    return channel_of_line(config_.org, line_addr);
+  }
+
  private:
-  struct PendingRead {
-    u64 ticket = 0;
-    u64 line_addr = 0;
-    double arrival = 0.0;
-    BankAddress where;
-  };
-  struct QueuedWrite {
-    u64 line_addr = 0;
-    double arrival = 0.0;
-    BankAddress where;
-  };
-  struct ParkedWrite {
-    u64 ticket = 0;
-    u64 line_addr = 0;
-    double arrival = 0.0;
-  };
-  struct Channel {
-    std::deque<PendingRead> reads;
-    std::deque<QueuedWrite> writes;
-    std::unordered_set<u64> queued_lines;  ///< forward/coalesce index
-    std::deque<ParkedWrite> parked;        ///< arrivals beyond capacity
-    bool draining = false;
-    double slot_free_at = 0.0;
-  };
-  struct LaterCompletion {
-    bool operator()(const MemSysCompletion& a,
-                    const MemSysCompletion& b) const noexcept {
-      if (a.time_ns != b.time_ns) return a.time_ns > b.time_ns;
-      return a.ticket > b.ticket;  // deterministic tie-break
-    }
-  };
-
-  /// Earliest time channel `c` could issue a command (+inf if none
-  /// pending/allowed). Mirrors the mode selection in arbitrate().
-  [[nodiscard]] double channel_wake(usize c) const;
-  void arbitrate(usize c, double now);
-  void issue_read(usize c, double now);
-  void issue_write(usize c, double now);
-  void accept_write(Channel& ch, u64 ticket, u64 line_addr, double arrival,
-                    double accept_time);
-  void push_completion(const MemSysCompletion& completion);
-
   MemSysConfig config_;
-  MemoryTimingModel timing_;
-  std::vector<Channel> channels_;
-  std::priority_queue<MemSysCompletion, std::vector<MemSysCompletion>,
-                      LaterCompletion>
-      completions_;
-  MemSysStats stats_;
+  std::vector<ChannelShard> shards_;  ///< one per channel
   u64 next_ticket_ = 0;
-  bool flushing_ = false;  ///< drain_all: writes may issue below watermark
 };
 
 }  // namespace nvmenc

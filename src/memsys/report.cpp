@@ -1,0 +1,85 @@
+#include "memsys/report.hpp"
+
+#include "common/types.hpp"
+
+namespace nvmenc {
+
+namespace {
+
+/// Service-quality rows shared by the replay and loadgen reports.
+void append_service_rows(TextTable& table, const MemSysStats& s,
+                         const TimingStats& timing, double makespan_ns) {
+  const LatencyHistogram& h = s.read_latency_ns;
+  table.add_row({"forwarded reads", std::to_string(s.forwarded_reads)});
+  table.add_row({"coalesced writes", std::to_string(s.coalesced_writes)});
+  table.add_row({"write stalls", std::to_string(s.write_stalls)});
+  table.add_row({"drain episodes", std::to_string(s.drains)});
+  table.add_row({"row hit rate", TextTable::fmt(timing.row_hit_rate(), 3)});
+  table.add_row({"sustained GB/s", TextTable::fmt(s.sustained_gbps(), 3)});
+  table.add_row({"read latency mean (ns)", TextTable::fmt(h.mean(), 1)});
+  table.add_row({"read latency p50 (ns)", TextTable::fmt(h.p50(), 0)});
+  table.add_row({"read latency p95 (ns)", TextTable::fmt(h.p95(), 0)});
+  table.add_row({"read latency p99 (ns)", TextTable::fmt(h.p99(), 0)});
+  table.add_row({"read latency p99.9 (ns)", TextTable::fmt(h.p999(), 0)});
+  table.add_row({"makespan (ms)", TextTable::fmt(makespan_ns / 1e6, 3)});
+}
+
+}  // namespace
+
+TextTable replay_table(const std::string& trace_name,
+                       double encode_latency_ns,
+                       const TraceReplayConfig& replay,
+                       const TraceReplayResult& result) {
+  const MemSysStats& s = result.stats;
+  TextTable table{{"metric", "value"}};
+  table.add_row({"trace", trace_name});
+  table.add_row({"accesses", std::to_string(result.accesses)});
+  table.add_row({"inter-arrival (ns)",
+                 TextTable::fmt(replay.inter_arrival_ns, 2)});
+  table.add_row({"offered GB/s",
+                 TextTable::fmt(static_cast<double>(kLineBytes) /
+                                    replay.inter_arrival_ns,
+                                3)});
+  table.add_row({"encode latency (ns)",
+                 TextTable::fmt(encode_latency_ns, 2)});
+  table.add_row({"reads / writes",
+                 std::to_string(s.reads) + " / " + std::to_string(s.writes)});
+  append_service_rows(table, s, result.timing, result.makespan_ns);
+  return table;
+}
+
+TextTable replay_sweep_table(const std::vector<ReplaySweepCell>& cells) {
+  TextTable table{{"scheme", "encode ns", "GB/s", "p50", "p95", "p99",
+                   "p99.9", "stalls"}};
+  for (const ReplaySweepCell& cell : cells) {
+    const MemSysStats& s = cell.result.stats;
+    const LatencyHistogram& h = s.read_latency_ns;
+    table.add_row({cell.label, TextTable::fmt(cell.encode_latency_ns, 2),
+                   TextTable::fmt(s.sustained_gbps(), 3),
+                   TextTable::fmt(h.p50(), 0), TextTable::fmt(h.p95(), 0),
+                   TextTable::fmt(h.p99(), 0), TextTable::fmt(h.p999(), 0),
+                   std::to_string(s.write_stalls)});
+  }
+  return table;
+}
+
+TextTable load_table(const std::string& scheme,
+                     const std::string& encode_model,
+                     double encode_latency_ns, const LoadGenConfig& load,
+                     const LoadResult& result) {
+  const MemSysStats& s = result.stats;
+  TextTable table{{"metric", "value"}};
+  table.add_row({"scheme", scheme});
+  table.add_row({"encode model", encode_model});
+  table.add_row({"encode latency (ns)",
+                 TextTable::fmt(encode_latency_ns, 2)});
+  table.add_row({"pattern", load_pattern_name(load.pattern)});
+  table.add_row({"users / think (ns)",
+                 std::to_string(load.users) + " / " +
+                     TextTable::fmt(load.think_ns, 0)});
+  table.add_row({"requests", std::to_string(s.reads + s.writes)});
+  append_service_rows(table, s, result.timing, result.makespan_ns);
+  return table;
+}
+
+}  // namespace nvmenc

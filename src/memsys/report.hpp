@@ -1,0 +1,38 @@
+// Rendered result tables for the memory-system drivers.
+//
+// The CLI and the determinism tests need the same bytes: the sharded
+// engines promise --jobs-independent *output*, and the cheapest way to
+// hold them to it is to render results through one shared builder and
+// compare the rendered tables verbatim (tests/test_sharded_replay.cpp,
+// tests/test_sharded_loadgen.cpp). Keep every formatted row here; the CLI
+// only prints what these return.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "memsys/loadgen.hpp"
+#include "memsys/trace_replay.hpp"
+
+namespace nvmenc {
+
+/// Single-trace open-loop replay report (metric/value rows).
+[[nodiscard]] TextTable replay_table(const std::string& trace_name,
+                                     double encode_latency_ns,
+                                     const TraceReplayConfig& replay,
+                                     const TraceReplayResult& result);
+
+/// One row per sweep cell (scheme, encode ns, throughput, read tail).
+[[nodiscard]] TextTable replay_sweep_table(
+    const std::vector<ReplaySweepCell>& cells);
+
+/// Closed-loop load-generation report. `scheme` and `encode_model` are
+/// display labels chosen by the caller ("READ+SAE", "paper", ...).
+[[nodiscard]] TextTable load_table(const std::string& scheme,
+                                   const std::string& encode_model,
+                                   double encode_latency_ns,
+                                   const LoadGenConfig& load,
+                                   const LoadResult& result);
+
+}  // namespace nvmenc

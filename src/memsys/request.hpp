@@ -48,6 +48,26 @@ struct MemSysStats {
            last_completion_ns;
   }
 
+  /// Folds `other` into this accumulator: counters and histogram buckets
+  /// add exactly, last_completion_ns takes the max. Shard stats merge in
+  /// channel-id order, which fixes the float accumulation order and makes
+  /// the merged result identical for every --jobs value.
+  void merge(const MemSysStats& other) noexcept {
+    reads += other.reads;
+    writes += other.writes;
+    array_writes += other.array_writes;
+    forwarded_reads += other.forwarded_reads;
+    coalesced_writes += other.coalesced_writes;
+    write_stalls += other.write_stalls;
+    drains += other.drains;
+    read_latency_ns.merge(other.read_latency_ns);
+    write_accept_ns.merge(other.write_accept_ns);
+    read_latency_stat.merge(other.read_latency_stat);
+    if (other.last_completion_ns > last_completion_ns) {
+      last_completion_ns = other.last_completion_ns;
+    }
+  }
+
   /// Exact equality across every counter and histogram bucket — the
   /// replay/sweep determinism tests compare whole runs with this.
   [[nodiscard]] bool operator==(const MemSysStats&) const = default;

@@ -1,14 +1,19 @@
 #include "memsys/trace_replay.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
+#include "common/table.hpp"
 #include "runner/parallel_for.hpp"
 #include "runner/parallel_runner.hpp"
+#include "runner/progress.hpp"
 #include "runner/thread_pool.hpp"
 
 namespace nvmenc {
 
 void TraceReplayConfig::validate() const {
   require(inter_arrival_ns > 0.0, "inter-arrival time must be positive");
+  require(epoch_accesses >= 1, "epochs must hold at least one access");
 }
 
 namespace {
@@ -23,6 +28,7 @@ TraceReplayResult replay_impl(const Source& trace, u64 count,
                               const MemSysConfig& mem) {
   replay.validate();
   MemorySystem sys{mem};
+  constexpr u64 kTickStride = 65'536;
   for (u64 i = 0; i < count; ++i) {
     const double now = static_cast<double>(i) * replay.inter_arrival_ns;
     while (sys.step_until(now)) {
@@ -31,11 +37,88 @@ TraceReplayResult replay_impl(const Source& trace, u64 count,
     (void)sys.submit(a.line_addr(),
                      a.op == Op::kRead ? ReqKind::kRead : ReqKind::kWrite,
                      now);
+    if (replay.progress != nullptr && (i + 1) % kTickStride == 0) {
+      replay.progress->tick("replay", i + 1, count);
+    }
   }
   TraceReplayResult result;
   result.makespan_ns = sys.drain_all();
   result.stats = sys.stats();
-  result.timing = sys.timing().stats();
+  result.timing = sys.timing_stats();
+  result.accesses = count;
+  if (replay.progress != nullptr) {
+    replay.progress->tick("replay", count, count);
+  }
+  return result;
+}
+
+/// The sharded engine. Each epoch is a contiguous index range — arrival i
+/// lands at i * inter_arrival_ns, so index order IS time order — and every
+/// shard scans the epoch's slice, keeping only its own channel's accesses.
+/// The redundant scan (each worker decodes the slice once) is the price of
+/// O(1) memory: no per-channel index arrays, which for a 10^8-access trace
+/// would dwarf the simulation state. Record decode is a few shifts per
+/// 24-byte record; the simulation dominates.
+template <typename Source>
+TraceReplayResult replay_sharded_impl(const Source& trace, u64 count,
+                                      const TraceReplayConfig& replay,
+                                      const MemSysConfig& mem, usize jobs) {
+  replay.validate();
+  mem.validate();
+  const usize nch = mem.org.channels;
+  std::vector<ChannelShard> shards;
+  shards.reserve(nch);
+  for (usize c = 0; c < nch; ++c) shards.emplace_back(mem, c);
+
+  auto pump_slice = [&](usize c, u64 begin, u64 end) {
+    ChannelShard& shard = shards[c];
+    for (u64 i = begin; i < end; ++i) {
+      const MemAccess a = trace[i];
+      const u64 addr = a.line_addr();
+      if (channel_of_line(mem.org, addr) != c) continue;
+      const double now = static_cast<double>(i) * replay.inter_arrival_ns;
+      while (shard.step_until(now)) {
+      }
+      (void)shard.submit(
+          addr, a.op == Op::kRead ? ReqKind::kRead : ReqKind::kWrite, now);
+    }
+  };
+
+  const usize workers = std::min(resolve_jobs(jobs), nch);
+  if (workers <= 1) {
+    // Same engine, serial schedule: shard order within an epoch is
+    // irrelevant because shards share nothing.
+    for (u64 base = 0; base < count; base += replay.epoch_accesses) {
+      const u64 end = std::min(count, base + replay.epoch_accesses);
+      for (usize c = 0; c < nch; ++c) pump_slice(c, base, end);
+      if (replay.progress != nullptr) {
+        replay.progress->tick("replay", end, count);
+      }
+    }
+    for (usize c = 0; c < nch; ++c) (void)shards[c].drain_all();
+  } else {
+    ThreadPool pool{workers};
+    for (u64 base = 0; base < count; base += replay.epoch_accesses) {
+      const u64 end = std::min(count, base + replay.epoch_accesses);
+      // parallel_for joins every shard before the next epoch: the barrier
+      // that bounds wall-clock drift between shards.
+      parallel_for(pool, nch,
+                   [&](usize c) { pump_slice(c, base, end); });
+      if (replay.progress != nullptr) {
+        replay.progress->tick("replay", end, count);
+      }
+    }
+    parallel_for(pool, nch, [&](usize c) { (void)shards[c].drain_all(); });
+  }
+
+  // Merge in channel-id order — the fixed float accumulation order that
+  // makes the result independent of worker scheduling.
+  TraceReplayResult result;
+  for (usize c = 0; c < nch; ++c) {
+    result.stats.merge(shards[c].stats());
+    result.timing.merge(shards[c].timing_stats());
+  }
+  result.makespan_ns = result.stats.last_completion_ns;
   result.accesses = count;
   return result;
 }
@@ -61,18 +144,41 @@ TraceReplayResult replay_trace(std::span<const MemAccess> trace,
                      replay, mem);
 }
 
+TraceReplayResult replay_trace_sharded(const MappedTrace& trace,
+                                       const TraceReplayConfig& replay,
+                                       const MemSysConfig& mem, usize jobs) {
+  return replay_sharded_impl(
+      trace, capped_count(trace.size(), replay.max_accesses), replay, mem,
+      jobs);
+}
+
+TraceReplayResult replay_trace_sharded(std::span<const MemAccess> trace,
+                                       const TraceReplayConfig& replay,
+                                       const MemSysConfig& mem, usize jobs) {
+  return replay_sharded_impl(
+      trace, capped_count(trace.size(), replay.max_accesses), replay, mem,
+      jobs);
+}
+
 std::vector<ReplaySweepCell> replay_sweep(
     const std::string& trace_path, const std::vector<ReplaySweepCell>& cells,
     const TraceReplayConfig& replay, const MemSysConfig& base_mem,
-    usize jobs) {
+    usize jobs, ProgressReporter* progress) {
   std::vector<ReplaySweepCell> out = cells;
+  // One shared read-only mapping for every cell: the kernel page cache
+  // backs all workers from the same physical pages, instead of each cell
+  // opening and mapping the file again.
+  const MappedTrace trace{trace_path};
   auto run_cell = [&](usize i) {
-    // Private mapping per cell: read-only MAP_SHARED mappings of one file
-    // are cheap, and nothing is shared mutably between workers.
-    const MappedTrace trace{trace_path};
     MemSysConfig mem = base_mem;
     mem.org.encode_latency_ns = out[i].encode_latency_ns;
     out[i].result = replay_trace(trace, replay, mem);
+    if (progress != nullptr) {
+      progress->job_done(out[i].label,
+                         TextTable::fmt(out[i].result.stats.sustained_gbps(),
+                                        3) +
+                             " GB/s");
+    }
   };
   const usize workers = resolve_jobs(jobs);
   if (workers <= 1 || cells.size() <= 1) {

@@ -11,12 +11,25 @@
 //
 // Traces come from the binary mmap format (trace_io.hpp): records are
 // decoded straight out of the page cache, so a 10^8-access replay touches
-// no parser and allocates O(1) memory. The simulation itself is the same
-// single-threaded discrete-event MemorySystem the load generator drives —
-// fully deterministic, so a (trace, config) pair reproduces bit-identical
-// statistics regardless of --jobs or host load. Parallelism belongs one
-// level up: replay_sweep fans independent cells (one per encode-latency
-// point) out over a thread pool, each cell mapping the trace privately.
+// no parser and allocates O(1) memory.
+//
+// Two deterministic engines replay the same stream (DESIGN.md §10):
+//
+//   * replay_trace — the serial MemorySystem front-end, one access at a
+//     time in global arrival order;
+//   * replay_trace_sharded — one worker per channel shard. Arrival number
+//     i lands at time i * inter_arrival_ns, so an index range IS a
+//     virtual-time window: the driver walks the trace in bounded epochs,
+//     each shard scans the epoch's slice picking out its own channel's
+//     accesses (channel_of_line), and a barrier separates epochs. Shards
+//     share no state, so this is bit-identical to the serial engine — the
+//     same per-shard event sequences, merged in channel-id order — at any
+//     --jobs value, and the tier-1 tests compare the two engines' rendered
+//     tables byte for byte.
+//
+// replay_sweep remains cell-level parallelism (one serial replay per
+// encode-latency point) and shares a single read-only mapping of the
+// trace across all cells.
 #pragma once
 
 #include <span>
@@ -28,12 +41,20 @@
 
 namespace nvmenc {
 
+class ProgressReporter;  // runner/progress.hpp
+
 struct TraceReplayConfig {
   /// Fixed arrival spacing (ns per access). The open-loop rate knob:
   /// 64 B / 10 ns ≈ 6.4 GB/s offered load.
   double inter_arrival_ns = 10.0;
   /// Replay at most this many accesses (0 = the whole trace).
   u64 max_accesses = 0;
+  /// Sharded engine: accesses per epoch between barriers. Results never
+  /// depend on this (shards share nothing); it only bounds how far shards
+  /// drift apart in wall-clock and paces progress ticks.
+  u64 epoch_accesses = 1'000'000;
+  /// Optional within-run progress sink (rate-limited ETA lines).
+  ProgressReporter* progress = nullptr;
 
   void validate() const;
 };
@@ -60,6 +81,18 @@ struct TraceReplayResult {
                                              const TraceReplayConfig& replay,
                                              const MemSysConfig& mem);
 
+/// Channel-sharded parallel replay: advances every shard concurrently on
+/// `jobs` workers (0 = one per hardware context) in epochs of
+/// `replay.epoch_accesses`. Bit-identical to replay_trace for every
+/// (trace, config, jobs) — see the engine contract above.
+[[nodiscard]] TraceReplayResult replay_trace_sharded(
+    const MappedTrace& trace, const TraceReplayConfig& replay,
+    const MemSysConfig& mem, usize jobs);
+
+[[nodiscard]] TraceReplayResult replay_trace_sharded(
+    std::span<const MemAccess> trace, const TraceReplayConfig& replay,
+    const MemSysConfig& mem, usize jobs);
+
 /// One sweep cell: the base MemSysConfig with this encode latency.
 struct ReplaySweepCell {
   std::string label;          ///< e.g. scheme or model name
@@ -69,13 +102,13 @@ struct ReplaySweepCell {
 
 /// Replays one trace file across several encode-latency points, cells
 /// fanned out over `jobs` threads (0 = one per hardware context, 1 =
-/// serial). Every cell maps the trace file independently (read-only shared
-/// mappings are cheap) and runs a private MemorySystem, so results are
-/// bit-identical for any `jobs` value.
+/// serial). All cells read one shared read-only mapping of the trace and
+/// run private MemorySystems, so results are bit-identical for any `jobs`
+/// value. `progress` (nullable) gets one job_done line per finished cell.
 [[nodiscard]] std::vector<ReplaySweepCell> replay_sweep(
     const std::string& trace_path,
     const std::vector<ReplaySweepCell>& cells,
     const TraceReplayConfig& replay, const MemSysConfig& base_mem,
-    usize jobs);
+    usize jobs, ProgressReporter* progress = nullptr);
 
 }  // namespace nvmenc

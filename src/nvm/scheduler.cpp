@@ -2,6 +2,16 @@
 
 namespace nvmenc {
 
+void SchedulerStats::merge(const SchedulerStats& other) noexcept {
+  reads += other.reads;
+  writes += other.writes;
+  forwarded_reads += other.forwarded_reads;
+  coalesced_writes += other.coalesced_writes;
+  drains += other.drains;
+  read_latency_ns.merge(other.read_latency_ns);
+  read_latency_hist.merge(other.read_latency_hist);
+}
+
 WriteQueueScheduler::WriteQueueScheduler(SchedulerConfig config)
     : config_{config}, timing_{config.org} {
   config_.validate();

@@ -51,6 +51,13 @@ struct SchedulerStats {
   [[nodiscard]] double avg_read_latency_ns() const noexcept {
     return read_latency_ns.mean();
   }
+
+  /// Folds `other` into this accumulator (counters exact, RunningStat via
+  /// the parallel combine, histogram bucket-wise). Merge per-shard stats
+  /// in channel-id order for a jobs-independent result.
+  void merge(const SchedulerStats& other) noexcept;
+
+  [[nodiscard]] bool operator==(const SchedulerStats&) const = default;
 };
 
 class WriteQueueScheduler {

@@ -10,10 +10,21 @@ MemoryTimingModel::MemoryTimingModel(MemOrg org) : org_{org} {
   bus_free_at_.resize(org_.channels, 0.0);
 }
 
+void TimingStats::merge(const TimingStats& other) noexcept {
+  reads += other.reads;
+  writes += other.writes;
+  row_hits += other.row_hits;
+  row_misses += other.row_misses;
+  read_latency_ns.merge(other.read_latency_ns);
+  write_latency_ns.merge(other.write_latency_ns);
+  read_latency_hist.merge(other.read_latency_hist);
+  write_latency_hist.merge(other.write_latency_hist);
+}
+
 BankAddress MemoryTimingModel::decompose(u64 line_addr) const noexcept {
   const u64 row_id = line_addr / org_.row_bytes;
   BankAddress addr;
-  addr.channel = static_cast<usize>(row_id % org_.channels);
+  addr.channel = channel_of_line(org_, line_addr);
   const u64 above_channel = row_id / org_.channels;
   const usize banks_per_channel = org_.ranks * org_.banks;
   addr.bank = static_cast<usize>(above_channel % banks_per_channel);

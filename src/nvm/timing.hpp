@@ -49,6 +49,14 @@ struct BankAddress {
   u64 row = 0;
 };
 
+/// Channel a line maps to — the first step of decompose(), exposed
+/// separately so sharded drivers can route requests without a timing
+/// model. Must agree with MemoryTimingModel::decompose (tested).
+[[nodiscard]] inline usize channel_of_line(const MemOrg& org,
+                                           u64 line_addr) noexcept {
+  return static_cast<usize>((line_addr / org.row_bytes) % org.channels);
+}
+
 enum class MemOp : u8 { kRead, kWrite };
 
 struct TimingStats {
@@ -67,6 +75,12 @@ struct TimingStats {
                       : static_cast<double>(row_hits) /
                             static_cast<double>(total);
   }
+
+  /// Folds `other` into this accumulator. Counters and histogram buckets
+  /// are exact; the RunningStats use the parallel combine. Per-shard
+  /// stats merge in channel-id order so results are independent of how
+  /// many threads advanced the shards.
+  void merge(const TimingStats& other) noexcept;
 
   [[nodiscard]] bool operator==(const TimingStats&) const = default;
 };

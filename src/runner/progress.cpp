@@ -5,10 +5,32 @@
 
 namespace nvmenc {
 
+namespace {
+
+/// "12.5M", "980.0k", "312" — compact counts for progress lines.
+std::string human_count(u64 n) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(1);
+  if (n >= 1'000'000'000) {
+    out << static_cast<double>(n) / 1e9 << "G";
+  } else if (n >= 1'000'000) {
+    out << static_cast<double>(n) / 1e6 << "M";
+  } else if (n >= 10'000) {
+    out << static_cast<double>(n) / 1e3 << "k";
+  } else {
+    out << n;
+  }
+  return out.str();
+}
+
+}  // namespace
+
 ProgressReporter::ProgressReporter(std::ostream* sink, usize total_jobs)
     : sink_{sink},
       total_{total_jobs},
-      start_{std::chrono::steady_clock::now()} {}
+      start_{std::chrono::steady_clock::now()},
+      last_tick_{start_} {}
 
 void ProgressReporter::announce(const std::string& line) {
   const std::lock_guard<std::mutex> lock{mutex_};
@@ -33,6 +55,40 @@ void ProgressReporter::job_done(const std::string& name,
   line.setf(std::ios::fixed);
   line.precision(1);
   line << secs << "s]";
+  *sink_ << line.str() << "\n";
+  sink_->flush();
+}
+
+void ProgressReporter::tick(const std::string& label, u64 done, u64 total) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (sink_ == nullptr) return;
+  const auto now = std::chrono::steady_clock::now();
+  const bool final = total > 0 && done >= total;
+  if (!final &&
+      std::chrono::duration<double>(now - last_tick_).count() < 1.0) {
+    return;
+  }
+  last_tick_ = now;
+  const double secs = std::chrono::duration<double>(now - start_).count();
+  std::ostringstream line;
+  line << "  " << label << ": " << human_count(done);
+  if (total > 0) {
+    line << "/" << human_count(total) << " ("
+         << static_cast<u64>(100.0 * static_cast<double>(done) /
+                             static_cast<double>(total))
+         << "%)";
+  }
+  line.setf(std::ios::fixed);
+  line.precision(1);
+  line << " " << secs << "s";
+  if (secs > 0.0 && done > 0) {
+    const double rate = static_cast<double>(done) / secs;
+    line << ", " << human_count(static_cast<u64>(rate)) << "/s";
+    if (total > done) {
+      line.precision(0);
+      line << ", eta " << static_cast<double>(total - done) / rate << "s";
+    }
+  }
   *sink_ << line.str() << "\n";
   sink_->flush();
 }

@@ -32,6 +32,13 @@ class ProgressReporter {
   /// Marks one job finished and writes its completion line.
   void job_done(const std::string& name, const std::string& detail);
 
+  /// Within-job progress for long single jobs (trace generation, replay):
+  ///   "  <label>: 12.5M/100.0M (12%) 4.1s, 3.0M/s, eta 29s"
+  /// Rate-limited to roughly one line per second (the final tick, where
+  /// done == total, always prints), so a hot loop can call it every few
+  /// thousand iterations without drowning the terminal.
+  void tick(const std::string& label, u64 done, u64 total);
+
   [[nodiscard]] usize completed() const;
   [[nodiscard]] double elapsed_seconds() const;
 
@@ -40,6 +47,7 @@ class ProgressReporter {
   usize total_;
   usize done_ = 0;
   std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_tick_;
   mutable std::mutex mutex_;
 };
 

@@ -1,0 +1,153 @@
+// RingBuffer and FlatSetU64 back the zero-allocation hot path of the
+// channel shards; these tests pin their FIFO/set semantics against the
+// std containers they replaced, including the regrowth and backward-shift
+// deletion corners that plain usage rarely exercises.
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "common/flat_set.hpp"
+#include "common/ring_buffer.hpp"
+#include "common/rng.hpp"
+#include "gtest/gtest.h"
+
+using namespace nvmenc;
+
+TEST(RingBufferTest, FifoOrderAcrossWraparound) {
+  RingBuffer<int> ring;
+  ring.reserve(4);
+  std::deque<int> model;
+  // Interleave pushes and pops so head_ wraps several times at the
+  // initial capacity before growth kicks in.
+  int next = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      ring.push_back(next);
+      model.push_back(next);
+      ++next;
+    }
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_EQ(ring.front(), model.front());
+      ring.pop_front();
+      model.pop_front();
+    }
+    ASSERT_EQ(ring.size(), model.size());
+  }
+  while (!model.empty()) {
+    ASSERT_EQ(ring.front(), model.front());
+    ring.pop_front();
+    model.pop_front();
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBufferTest, GrowthPreservesLogicalOrder) {
+  RingBuffer<int> ring;
+  ring.reserve(4);
+  // Offset the head so regrowth must copy a wrapped layout.
+  for (int i = 0; i < 3; ++i) ring.push_back(-1);
+  for (int i = 0; i < 3; ++i) ring.pop_front();
+  for (int i = 0; i < 100; ++i) ring.push_back(i);
+  ASSERT_EQ(ring.size(), 100u);
+  for (usize i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(ring[i], static_cast<int>(i));
+  }
+}
+
+TEST(RingBufferTest, EraseAtKeepsOrder) {
+  for (usize victim = 0; victim < 7; ++victim) {
+    RingBuffer<int> ring;
+    ring.reserve(8);
+    // Wrap the head first so erase_at crosses the physical seam.
+    for (int i = 0; i < 5; ++i) ring.push_back(-1);
+    for (int i = 0; i < 5; ++i) ring.pop_front();
+    std::vector<int> model;
+    for (int i = 0; i < 7; ++i) {
+      ring.push_back(i);
+      model.push_back(i);
+    }
+    ring.erase_at(victim);
+    model.erase(model.begin() + static_cast<std::ptrdiff_t>(victim));
+    ASSERT_EQ(ring.size(), model.size());
+    for (usize i = 0; i < model.size(); ++i) {
+      EXPECT_EQ(ring[i], model[i]) << "victim " << victim << " slot " << i;
+    }
+  }
+}
+
+TEST(RingBufferTest, ReserveMakesSteadyStatePushPopAllocationFree) {
+  RingBuffer<int> ring;
+  ring.reserve(64);
+  const usize cap = ring.capacity();
+  for (int round = 0; round < 1000; ++round) {
+    for (int i = 0; i < 60; ++i) ring.push_back(i);
+    for (int i = 0; i < 60; ++i) ring.pop_front();
+  }
+  EXPECT_EQ(ring.capacity(), cap);  // never regrew
+}
+
+TEST(FlatSetTest, MatchesUnorderedSetUnderRandomChurn) {
+  constexpr usize kCapacity = 64;
+  FlatSetU64 set{kCapacity};
+  std::unordered_set<u64> model;
+  Xoshiro256 rng{12345};
+  // Small key universe forces frequent hits, repeats, and erases of
+  // keys in shared collision clusters.
+  for (int step = 0; step < 20'000; ++step) {
+    const u64 key = rng.next_below(200);
+    switch (rng.next_below(3)) {
+      case 0: {
+        if (model.size() >= kCapacity) break;  // respect fixed capacity
+        const bool inserted = set.insert(key);
+        EXPECT_EQ(inserted, model.insert(key).second);
+        break;
+      }
+      case 1: {
+        const bool erased = set.erase(key);
+        EXPECT_EQ(erased, model.erase(key) > 0);
+        break;
+      }
+      default:
+        EXPECT_EQ(set.contains(key), model.contains(key));
+        break;
+    }
+    ASSERT_EQ(set.size(), model.size());
+  }
+  for (u64 key = 0; key < 200; ++key) {
+    EXPECT_EQ(set.contains(key), model.contains(key)) << "key " << key;
+  }
+}
+
+TEST(FlatSetTest, BackwardShiftKeepsClusterMembersReachable) {
+  // Build a deliberate collision cluster by filling to capacity, then
+  // erase from the middle of the table and verify every survivor is
+  // still found (the classic tombstone-free deletion pitfall).
+  constexpr usize kCapacity = 32;
+  FlatSetU64 set{kCapacity};
+  std::vector<u64> keys;
+  for (u64 k = 0; keys.size() < kCapacity; ++k) {
+    if (set.insert(k * 7919)) keys.push_back(k * 7919);
+  }
+  for (usize i = 0; i < keys.size(); i += 3) {
+    ASSERT_TRUE(set.erase(keys[i]));
+  }
+  for (usize i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(set.contains(keys[i]), i % 3 != 0) << "key " << keys[i];
+  }
+}
+
+TEST(FlatSetTest, InsertBeyondCapacityThrows) {
+  FlatSetU64 set{4};
+  for (u64 k = 0; k < 4; ++k) ASSERT_TRUE(set.insert(k));
+  EXPECT_FALSE(set.insert(2));  // duplicate: already present, no growth
+  EXPECT_THROW(set.insert(99), std::invalid_argument);
+}
+
+TEST(FlatSetTest, ClearEmptiesWithoutShrinking) {
+  FlatSetU64 set{16};
+  for (u64 k = 0; k < 16; ++k) set.insert(k * 13);
+  set.clear();
+  EXPECT_TRUE(set.empty());
+  for (u64 k = 0; k < 16; ++k) EXPECT_FALSE(set.contains(k * 13));
+  for (u64 k = 0; k < 16; ++k) EXPECT_TRUE(set.insert(k * 17));
+}

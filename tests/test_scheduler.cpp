@@ -139,6 +139,36 @@ TEST(Scheduler, MembershipClearedAfterDrain) {
   EXPECT_EQ(s.queue_depth(), 1u);
 }
 
+TEST(Scheduler, StatsMergeCombinesTwoRuns) {
+  // Drive two independent schedulers, merge their stats, and check the
+  // merge against a by-hand fold of the counters and samples.
+  WriteQueueScheduler a{small_config()};
+  WriteQueueScheduler b{small_config()};
+  double t = 0.0;
+  for (u64 i = 0; i < 20; ++i) {
+    a.write(i * kLineBytes, t);
+    t = a.read(i * kLineBytes, t) + 5.0;  // forwarded: still queued
+  }
+  double u = 0.0;
+  for (u64 i = 0; i < 30; ++i) {
+    u = b.read((i % 4) * kLineBytes, u) + 5.0;
+  }
+  SchedulerStats merged = a.stats();
+  merged.merge(b.stats());
+  EXPECT_EQ(merged.reads, a.stats().reads + b.stats().reads);
+  EXPECT_EQ(merged.writes, a.stats().writes + b.stats().writes);
+  EXPECT_EQ(merged.forwarded_reads,
+            a.stats().forwarded_reads + b.stats().forwarded_reads);
+  EXPECT_EQ(merged.read_latency_ns.count(),
+            a.stats().read_latency_ns.count() +
+                b.stats().read_latency_ns.count());
+  EXPECT_EQ(merged.read_latency_hist.count(), merged.reads);
+  // Identity: merging an empty stats block changes nothing.
+  const SchedulerStats before = merged;
+  merged.merge(SchedulerStats{});
+  EXPECT_EQ(merged, before);
+}
+
 TEST(Scheduler, ReadHistogramMatchesRunningStat) {
   WriteQueueScheduler s{small_config()};
   double t = 0.0;

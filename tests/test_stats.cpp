@@ -3,6 +3,10 @@
 #include <cmath>
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "common/rng.hpp"
+
 namespace nvmenc {
 namespace {
 
@@ -169,6 +173,127 @@ TEST(LatencyHistogram, NegativeInputsClampToZero) {
   EXPECT_EQ(h.count(), 2u);
   EXPECT_DOUBLE_EQ(h.min(), 0.0);
   EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+}
+
+// --- merge properties backing the sharded engines (DESIGN.md §10) ---
+//
+// The samples below are integer-valued on purpose: bucket counts merge
+// exactly for any values, but the running sum is a double, and float
+// addition is only associative when every partial sum is exactly
+// representable. Integer latencies (ns) well under 2^53 are, so these
+// properties hold bit for bit — which is also why shard merges happen in
+// fixed channel-id order rather than relying on associativity.
+
+/// Latency samples shaped like a service-time distribution: a body around
+/// 100 ns and a heavy write-drain tail.
+std::vector<double> latency_samples(u64 seed, usize n) {
+  Xoshiro256 rng{seed};
+  std::vector<double> out;
+  out.reserve(n);
+  for (usize i = 0; i < n; ++i) {
+    const u64 tail = rng.next_below(100);
+    const u64 v = tail < 97 ? 80 + rng.next_below(64)
+                            : 2000 + rng.next_below(8192);
+    out.push_back(static_cast<double>(v));
+  }
+  return out;
+}
+
+TEST(LatencyHistogram, MergeOfShardsEqualsSingleRecorder) {
+  // Record one stream whole, and round-robin split across K shard
+  // histograms merged back in shard order: identical for every K.
+  const std::vector<double> samples = latency_samples(42, 5000);
+  LatencyHistogram whole;
+  for (double v : samples) whole.add(v);
+  for (usize shards : {usize{1}, usize{2}, usize{3}, usize{8}}) {
+    std::vector<LatencyHistogram> parts(shards);
+    for (usize i = 0; i < samples.size(); ++i) {
+      parts[i % shards].add(samples[i]);
+    }
+    LatencyHistogram merged;
+    for (const LatencyHistogram& part : parts) merged.merge(part);
+    EXPECT_EQ(merged, whole) << "shards=" << shards;
+  }
+}
+
+TEST(LatencyHistogram, MergeIsCommutative) {
+  const std::vector<double> xs = latency_samples(1, 2000);
+  const std::vector<double> ys = latency_samples(2, 3000);
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (double v : xs) a.add(v);
+  for (double v : ys) b.add(v);
+  LatencyHistogram ab = a;
+  ab.merge(b);
+  LatencyHistogram ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+}
+
+TEST(LatencyHistogram, MergeIsAssociative) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram c;
+  for (double v : latency_samples(3, 1000)) a.add(v);
+  for (double v : latency_samples(4, 1500)) b.add(v);
+  for (double v : latency_samples(5, 500)) c.add(v);
+  LatencyHistogram left = a;   // (a + b) + c
+  left.merge(b);
+  left.merge(c);
+  LatencyHistogram right = b;  // a + (b + c)
+  right.merge(c);
+  LatencyHistogram a_first = a;
+  a_first.merge(right);
+  EXPECT_EQ(left, a_first);
+}
+
+TEST(LatencyHistogram, MergeWithEmptyIsIdentityBothWays) {
+  LatencyHistogram h;
+  for (double v : latency_samples(6, 800)) h.add(v);
+  LatencyHistogram into = h;
+  into.merge(LatencyHistogram{});
+  EXPECT_EQ(into, h);
+  LatencyHistogram from;
+  from.merge(h);
+  EXPECT_EQ(from, h);
+}
+
+TEST(RunningStat, MergeMatchesSingleAccumulatorOnIntegers) {
+  // Chan et al. parallel combine: on integer-valued samples the mean and
+  // count match a single accumulator exactly; variance to float tolerance.
+  const std::vector<double> samples = latency_samples(7, 4000);
+  RunningStat whole;
+  for (double v : samples) whole.add(v);
+  for (usize shards : {usize{2}, usize{4}}) {
+    std::vector<RunningStat> parts(shards);
+    for (usize i = 0; i < samples.size(); ++i) {
+      parts[i % shards].add(samples[i]);
+    }
+    RunningStat merged;
+    for (const RunningStat& part : parts) merged.merge(part);
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+    EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-9 * whole.mean());
+    EXPECT_NEAR(merged.variance(), whole.variance(),
+                1e-6 * whole.variance());
+  }
+}
+
+TEST(RunningStat, MergeWithEmptyIsIdentityBothWays) {
+  RunningStat s;
+  s.add(10.0);
+  s.add(20.0);
+  RunningStat into = s;
+  into.merge(RunningStat{});
+  EXPECT_EQ(into.count(), 2u);
+  EXPECT_DOUBLE_EQ(into.mean(), 15.0);
+  RunningStat from;
+  from.merge(s);
+  EXPECT_EQ(from.count(), 2u);
+  EXPECT_DOUBLE_EQ(from.mean(), 15.0);
+  EXPECT_DOUBLE_EQ(from.min(), 10.0);
+  EXPECT_DOUBLE_EQ(from.max(), 20.0);
 }
 
 }  // namespace

@@ -38,8 +38,10 @@
 #include "common/table.hpp"
 #include "memsys/encode_cost.hpp"
 #include "memsys/loadgen.hpp"
+#include "memsys/report.hpp"
 #include "memsys/trace_replay.hpp"
 #include "runner/parallel_runner.hpp"
+#include "runner/progress.hpp"
 #include "sim/experiment.hpp"
 #include "sim/perf.hpp"
 #include "sim/simulator.hpp"
@@ -93,6 +95,8 @@ struct Args {
   bool memsys = false;
   double inter_arrival_ns = 10.0;
   u64 max_accesses = 0;  // 0 = whole trace
+  u64 epoch_accesses = 1'000'000;  // sharded-engine barrier spacing
+  bool sharded = false;  // loadgen: pin users to channels, shard the loop
 };
 
 /// Set by the SIGINT/SIGTERM handler; the matrix polls it at write-back
@@ -130,16 +134,21 @@ void handle_stop_signal(int) { g_cancel.request_stop(); }
       "  replay --memsys: --in=FILE [--format=bin|text]\n"
       "          [--inter-arrival-ns=X] [--max-accesses=N] [--channels=N]\n"
       "          [--scheme=NAME] [--encode-model=none|paper|measured]\n"
-      "          [--schemes=a,b,...] [--jobs=N]  (open-loop replay through\n"
-      "          the memory system; binary traces are mmap'd, never\n"
-      "          parsed; --schemes sweeps encode-latency cells in\n"
-      "          parallel)\n"
+      "          [--schemes=a,b,...] [--jobs=N] [--epoch-accesses=N]\n"
+      "          (open-loop replay through the memory system; binary\n"
+      "          traces are mmap'd, never parsed; --schemes sweeps\n"
+      "          encode-latency cells in parallel; without --schemes,\n"
+      "          --jobs>1 replays channel shards in parallel epochs —\n"
+      "          output is bit-identical for every --jobs value)\n"
       "  perf:   --benchmark=NAME [--accesses=N] [--encode-ns=X] "
       "[--sched]\n"
       "  loadgen: --scheme=NAME [--pattern=uniform|zipfian|diurnal]\n"
       "          [--users=N] [--think-ns=X] [--read-fraction=F]\n"
       "          [--requests=N] [--footprint=LINES] [--channels=N]\n"
-      "          [--encode-model=none|paper|measured] [--seed=S]\n";
+      "          [--encode-model=none|paper|measured] [--seed=S]\n"
+      "          [--sharded] [--jobs=N]  (--sharded pins each user to its\n"
+      "          home channel and runs per-channel closed loops on --jobs\n"
+      "          workers; output is bit-identical for every --jobs value)\n";
   std::exit(2);
 }
 
@@ -194,6 +203,9 @@ Args parse(int argc, char** argv) {
       args.inter_arrival_ns = std::stod(*vp);
     else if (auto vq = value("max-accesses"))
       args.max_accesses = std::stoull(*vq);
+    else if (auto vr = value("epoch-accesses"))
+      args.epoch_accesses = std::stoull(*vr);
+    else if (arg == "--sharded") args.sharded = true;
     else if (arg == "--memsys") args.memsys = true;
     else if (arg == "--protect-meta") args.protect_meta = true;
     else if (arg == "--atomic-writes") args.atomic_writes = true;
@@ -396,16 +408,27 @@ int cmd_matrix(const Args& args) {
 int cmd_trace(const Args& args) {
   if (args.out.empty()) usage();
   SyntheticWorkload workload{profile_by_name(args.benchmark), args.seed};
+  ProgressReporter progress{&std::cerr};
+  constexpr u64 kTickStride = 65'536;
   if (args.format == "text") {
     std::vector<MemAccess> accesses;
     accesses.reserve(args.accesses);
-    for (u64 i = 0; i < args.accesses; ++i)
+    for (u64 i = 0; i < args.accesses; ++i) {
       accesses.push_back(workload.next());
+      if ((i + 1) % kTickStride == 0) {
+        progress.tick("trace", i + 1, args.accesses);
+      }
+    }
     write_text_trace(args.out, accesses);
   } else {
     // Streamed: a 10^8-access capture never holds the trace in memory.
     TraceWriter writer{args.out};
-    for (u64 i = 0; i < args.accesses; ++i) writer.append(workload.next());
+    for (u64 i = 0; i < args.accesses; ++i) {
+      writer.append(workload.next());
+      if ((i + 1) % kTickStride == 0) {
+        progress.tick("trace", i + 1, args.accesses);
+      }
+    }
     writer.close();
   }
   std::cout << "wrote " << args.accesses << " accesses to " << args.out
@@ -427,14 +450,15 @@ int cmd_replay_memsys(const Args& args) {
   TraceReplayConfig replay;
   replay.inter_arrival_ns = args.inter_arrival_ns;
   replay.max_accesses = args.max_accesses;
+  replay.epoch_accesses = args.epoch_accesses;
 
   MemSysConfig mem;
   mem.org.channels = args.channels;
   const EncodeLatencyModel model = encode_model_by_name(args.encode_model);
 
   if (!args.schemes.empty()) {
-    // Sweep: one cell per scheme's encode latency, fanned over --jobs.
-    // replay_sweep maps the trace per cell, so it needs the binary format.
+    // Sweep: one cell per scheme's encode latency, fanned over --jobs,
+    // all cells sharing one mmap of the trace (binary format only).
     if (args.format == "text") {
       std::cerr << "sweep replay mmaps the trace; convert it first with "
                    "`nvmenc trace pack`\n";
@@ -447,61 +471,33 @@ int cmd_replay_memsys(const Args& args) {
       cell.encode_latency_ns = encode_latency_ns(scheme_by_name(name), model);
       cells.push_back(cell);
     }
+    ProgressReporter progress{&std::cerr, cells.size()};
     const std::vector<ReplaySweepCell> out =
-        replay_sweep(args.in, cells, replay, mem, args.jobs);
-    TextTable table{{"scheme", "encode ns", "GB/s", "p50", "p95", "p99",
-                     "p99.9", "stalls"}};
-    for (const ReplaySweepCell& cell : out) {
-      const MemSysStats& s = cell.result.stats;
-      const LatencyHistogram& h = s.read_latency_ns;
-      table.add_row({cell.label, TextTable::fmt(cell.encode_latency_ns, 2),
-                     TextTable::fmt(s.sustained_gbps(), 3),
-                     TextTable::fmt(h.p50(), 0), TextTable::fmt(h.p95(), 0),
-                     TextTable::fmt(h.p99(), 0), TextTable::fmt(h.p999(), 0),
-                     std::to_string(s.write_stalls)});
-    }
-    table.print(std::cout);
+        replay_sweep(args.in, cells, replay, mem, args.jobs, &progress);
+    replay_sweep_table(out).print(std::cout);
     return 0;
   }
 
   mem.org.encode_latency_ns =
       encode_latency_ns(scheme_by_name(args.scheme), model);
+  ProgressReporter progress{&std::cerr};
+  replay.progress = &progress;
+  // Multi-channel single replay parallelizes over channel shards; the
+  // serial and sharded engines produce bit-identical tables, so the
+  // choice is purely a wall-clock one.
+  const bool shard_it = resolve_jobs(args.jobs) > 1 && mem.org.channels > 1;
   TraceReplayResult r;
   if (args.format == "text") {
     const std::vector<MemAccess> accesses = read_text_trace(args.in);
-    r = replay_trace(accesses, replay, mem);
+    r = shard_it ? replay_trace_sharded(accesses, replay, mem, args.jobs)
+                 : replay_trace(accesses, replay, mem);
   } else {
     const MappedTrace trace{args.in};
-    r = replay_trace(trace, replay, mem);
+    r = shard_it ? replay_trace_sharded(trace, replay, mem, args.jobs)
+                 : replay_trace(trace, replay, mem);
   }
-  const MemSysStats& s = r.stats;
-  const LatencyHistogram& h = s.read_latency_ns;
-  TextTable table{{"metric", "value"}};
-  table.add_row({"trace", args.in});
-  table.add_row({"accesses", std::to_string(r.accesses)});
-  table.add_row({"inter-arrival (ns)",
-                 TextTable::fmt(replay.inter_arrival_ns, 2)});
-  table.add_row({"offered GB/s",
-                 TextTable::fmt(static_cast<double>(kLineBytes) /
-                                    replay.inter_arrival_ns,
-                                3)});
-  table.add_row({"encode latency (ns)",
-                 TextTable::fmt(mem.org.encode_latency_ns, 2)});
-  table.add_row({"reads / writes",
-                 std::to_string(s.reads) + " / " + std::to_string(s.writes)});
-  table.add_row({"forwarded reads", std::to_string(s.forwarded_reads)});
-  table.add_row({"coalesced writes", std::to_string(s.coalesced_writes)});
-  table.add_row({"write stalls", std::to_string(s.write_stalls)});
-  table.add_row({"drain episodes", std::to_string(s.drains)});
-  table.add_row({"row hit rate", TextTable::fmt(r.timing.row_hit_rate(), 3)});
-  table.add_row({"sustained GB/s", TextTable::fmt(s.sustained_gbps(), 3)});
-  table.add_row({"read latency mean (ns)", TextTable::fmt(h.mean(), 1)});
-  table.add_row({"read latency p50 (ns)", TextTable::fmt(h.p50(), 0)});
-  table.add_row({"read latency p95 (ns)", TextTable::fmt(h.p95(), 0)});
-  table.add_row({"read latency p99 (ns)", TextTable::fmt(h.p99(), 0)});
-  table.add_row({"read latency p99.9 (ns)", TextTable::fmt(h.p999(), 0)});
-  table.add_row({"makespan (ms)", TextTable::fmt(r.makespan_ns / 1e6, 3)});
-  table.print(std::cout);
+  replay_table(args.in, mem.org.encode_latency_ns, replay, r)
+      .print(std::cout);
   return 0;
 }
 
@@ -592,33 +588,14 @@ int cmd_loadgen(const Args& args) {
   mem.org.channels = args.channels;
   mem.org.encode_latency_ns = encode_latency_ns(scheme, model);
 
-  const LoadResult r = run_load(load, mem);
-  const MemSysStats& s = r.stats;
-  const LatencyHistogram& h = s.read_latency_ns;
-
-  TextTable table{{"metric", "value"}};
-  table.add_row({"scheme", scheme_name(scheme)});
-  table.add_row({"encode model", encode_model_name(model)});
-  table.add_row({"encode latency (ns)",
-                 TextTable::fmt(mem.org.encode_latency_ns, 2)});
-  table.add_row({"pattern", load_pattern_name(load.pattern)});
-  table.add_row({"users / think (ns)",
-                 std::to_string(load.users) + " / " +
-                     TextTable::fmt(load.think_ns, 0)});
-  table.add_row({"requests", std::to_string(s.reads + s.writes)});
-  table.add_row({"forwarded reads", std::to_string(s.forwarded_reads)});
-  table.add_row({"coalesced writes", std::to_string(s.coalesced_writes)});
-  table.add_row({"write stalls", std::to_string(s.write_stalls)});
-  table.add_row({"drain episodes", std::to_string(s.drains)});
-  table.add_row({"row hit rate", TextTable::fmt(r.timing.row_hit_rate(), 3)});
-  table.add_row({"sustained GB/s", TextTable::fmt(s.sustained_gbps(), 3)});
-  table.add_row({"read latency mean (ns)", TextTable::fmt(h.mean(), 1)});
-  table.add_row({"read latency p50 (ns)", TextTable::fmt(h.p50(), 0)});
-  table.add_row({"read latency p95 (ns)", TextTable::fmt(h.p95(), 0)});
-  table.add_row({"read latency p99 (ns)", TextTable::fmt(h.p99(), 0)});
-  table.add_row({"read latency p99.9 (ns)", TextTable::fmt(h.p999(), 0)});
-  table.add_row({"makespan (ms)", TextTable::fmt(r.makespan_ns / 1e6, 3)});
-  table.print(std::cout);
+  // --sharded pins each user to its home channel and runs the per-channel
+  // closed loops on --jobs workers (a different, pinned workload — but
+  // bit-identical output for any --jobs value).
+  const LoadResult r = args.sharded ? run_load_sharded(load, mem, args.jobs)
+                                    : run_load(load, mem);
+  load_table(scheme_name(scheme), encode_model_name(model),
+             mem.org.encode_latency_ns, load, r)
+      .print(std::cout);
   return 0;
 }
 
