@@ -8,6 +8,13 @@
 //     retirements, detected SDC) summed over the benchmarks.
 // The sweep seeds every (rate, benchmark, scheme) cell deterministically,
 // so --jobs only changes wall-clock, never the numbers.
+//
+// This bench exercises the *synchronous controller* fault surface
+// (MemoryController + program-and-verify, priced in energy). The timing
+// fault surface — the same media faults charged as virtual bank occupancy
+// inside the multi-channel memory system, priced in tail latency and
+// GB/s — lives in bench/ras_sweep (DESIGN.md §12). Run both to see a
+// fault rate's full cost: energy here, service time there.
 #include <vector>
 
 #include "bench_util.hpp"

@@ -80,13 +80,16 @@ class FaultInjector {
   [[nodiscard]] u64 read_disturbs() const noexcept { return disturbs_; }
   [[nodiscard]] u64 hard_faults() const noexcept { return hard_; }
 
- private:
   /// Generator for one (line, event) pair: a splitmix64 cascade over the
   /// seed, the address and the sequence number, so draws are independent
-  /// of any other line's history.
+  /// of any other line's history. Public because the memory-system RAS
+  /// layer (memsys/ras.hpp) keys its own draws through the same cascade
+  /// with channel-bearing salts — (seed, channel, line, seq) — to keep
+  /// fault streams identical between serial and sharded runs.
   [[nodiscard]] Xoshiro256 event_rng(u64 line_addr, u64 seq,
                                      u64 salt) const noexcept;
 
+ private:
   FaultInjectorConfig config_;
   u64 transient_ = 0;
   u64 disturbs_ = 0;

@@ -35,6 +35,12 @@ ChannelShard::ChannelShard(const MemSysConfig& config, usize channel)
   writes_.reserve(write_queue_capacity_);
   parked_.reserve(kParkedReserve);
   completions_.reserve(kCompletionReserve);
+  if (config.ras.enabled()) {
+    ras_.emplace(config.ras, channel);
+    if (config.ras.scrub_interval_ns > 0.0) {
+      next_scrub_at_ = config.ras.scrub_interval_ns;
+    }
+  }
 }
 
 void ChannelShard::push_completion(const MemSysCompletion& completion) {
@@ -61,10 +67,41 @@ void ChannelShard::accept_write(u64 ticket, u64 line_addr, double arrival,
   push_completion({ticket, accept_time, ReqKind::kWrite, false});
 }
 
+void ChannelShard::maybe_arm_scrub(double now) {
+  // Arm at most one pending scrub, re-checked per arrival: the scrub rate
+  // is min(1 / scrub_interval, arrival rate), and because arming depends
+  // only on the shard's own arrival sequence the scrub stream is
+  // identical in serial and sharded runs.
+  if (!ras_ || scrub_.has_value() || next_scrub_at_ <= 0.0 ||
+      now < next_scrub_at_) {
+    return;
+  }
+  if (const auto line = ras_->next_scrub_target()) {
+    scrub_.emplace(PendingScrub{*line, now, timing_.decompose(*line)});
+  }
+  next_scrub_at_ = now + ras_->config().scrub_interval_ns;
+}
+
 void ChannelShard::submit_with_ticket(u64 ticket, u64 line_addr,
-                                      ReqKind kind, double now_ns) {
+                                      ReqKind kind, double now_ns,
+                                      bool remapped) {
   NVMENC_DCHECK(channel_of_line(timing_.org(), line_addr) == channel_,
                 "line routed to the wrong channel shard");
+  if (ras_) {
+    ras_->poll(now_ns);
+    maybe_arm_scrub(now_ns);
+    if (remapped) {
+      // Inflow from a degraded channel passes the bounded remapping
+      // queue; congestion holds the target bank while the remap engine
+      // backs off, so overload surfaces in the survivors' tail latency.
+      const double penalty = ras_->on_remap_in(now_ns);
+      if (penalty > 0.0) {
+        const BankAddress where = timing_.decompose(line_addr);
+        timing_.occupy_bank(channel_, where.bank, now_ns, penalty);
+        ras_->add_busy(penalty);
+      }
+    }
+  }
   if (kind == ReqKind::kRead) {
     ++stats_.reads;
     if (queued_lines_.contains(line_addr)) {
@@ -90,9 +127,10 @@ void ChannelShard::submit_with_ticket(u64 ticket, u64 line_addr,
   }
 }
 
-u64 ChannelShard::submit(u64 line_addr, ReqKind kind, double now_ns) {
+u64 ChannelShard::submit(u64 line_addr, ReqKind kind, double now_ns,
+                         bool remapped) {
   const u64 ticket = next_ticket_++;
-  submit_with_ticket(ticket, line_addr, kind, now_ns);
+  submit_with_ticket(ticket, line_addr, kind, now_ns, remapped);
   return ticket;
 }
 
@@ -118,6 +156,14 @@ double ChannelShard::wake() const {
                                               w.where.bank)));
     }
   }
+  if (scrub_.has_value()) {
+    // Background scrub: a wake candidate like any other, but arbitrate()
+    // only issues it when no demand request is eligible — low priority
+    // under the existing FR-FCFS discipline.
+    wake = std::min(
+        wake, std::max(scrub_->arrival,
+                       timing_.bank_free_at(channel_, scrub_->where.bank)));
+  }
   if (wake == kInf) return kInf;
   return std::max(wake, slot_free_at_);
 }
@@ -127,14 +173,18 @@ void ChannelShard::arbitrate(double now) {
   const bool write_mode =
       drain_mode || (reads_.empty() && !writes_.empty() &&
                      (opportunistic_writes_ || flushing_));
-  if (write_mode) {
-    issue_write(now);
-  } else {
-    issue_read(now);
+  const bool issued = write_mode ? issue_write(now) : issue_read(now);
+  if (issued) return;
+  if (scrub_.has_value() && scrub_->arrival <= now &&
+      timing_.bank_free_at(channel_, scrub_->where.bank) <= now) {
+    issue_scrub(now);
+    return;
   }
+  // Unreachable by the wake contract; guarantee progress regardless.
+  slot_free_at_ = now + std::max(t_cmd_ns_, 1.0);
 }
 
-void ChannelShard::issue_read(double now) {
+bool ChannelShard::issue_read(double now) {
   usize oldest = kNone;
   usize row_hit = kNone;
   for (usize i = 0; i < reads_.size(); ++i) {
@@ -147,11 +197,7 @@ void ChannelShard::issue_read(double now) {
       row_hit = i;
     }
   }
-  if (oldest == kNone) {
-    // Unreachable by the wake contract; guarantee progress regardless.
-    slot_free_at_ = now + std::max(t_cmd_ns_, 1.0);
-    return;
-  }
+  if (oldest == kNone) return false;
   usize pick = oldest;
   if (row_hit != kNone &&
       now - reads_[oldest].arrival <= starvation_cap_ns_) {
@@ -159,15 +205,30 @@ void ChannelShard::issue_read(double now) {
   }
   const PendingRead r = reads_[pick];
   reads_.erase(reads_.begin() + static_cast<std::ptrdiff_t>(pick));
-  const double done = timing_.access(r.line_addr, MemOp::kRead, now);
+  double done = timing_.access(r.line_addr, MemOp::kRead, now);
+  if (ras_) {
+    const FaultDomain::ReadOutcome out =
+        ras_->on_demand_read(r.line_addr, now);
+    if (out.uncorrectable) {
+      // SECDED double fault: the data returns only after the controller
+      // rebuilds the line into a spare (read + write of recovery work,
+      // holding the bank), so the UE lands squarely in the read tail.
+      const double recovery =
+          timing_.org().t_read_ns + timing_.org().t_write_ns;
+      timing_.occupy_bank(channel_, r.where.bank, done, recovery);
+      ras_->add_busy(recovery);
+      done += recovery;
+    }
+  }
   const double latency = done - r.arrival;
   stats_.read_latency_ns.add(latency);
   stats_.read_latency_stat.add(latency);
   push_completion({r.ticket, done, ReqKind::kRead, false});
   slot_free_at_ = now + t_cmd_ns_;
+  return true;
 }
 
-void ChannelShard::issue_write(double now) {
+bool ChannelShard::issue_write(double now) {
   usize oldest = kNone;
   usize row_hit = kNone;
   for (usize i = 0; i < writes_.size(); ++i) {
@@ -181,18 +242,35 @@ void ChannelShard::issue_write(double now) {
       break;  // row hits beat age for background writes
     }
   }
-  if (oldest == kNone) {
-    slot_free_at_ = now + std::max(t_cmd_ns_, 1.0);
-    return;
-  }
+  if (oldest == kNone) return false;
   const usize pick = row_hit != kNone ? row_hit : oldest;
   const QueuedWrite w = writes_[pick];
   writes_.erase(writes_.begin() + static_cast<std::ptrdiff_t>(pick));
   queued_lines_.erase(w.line_addr);
   // Encode latency (MemOrg::encode_latency_ns) is charged inside: the
   // scheme's encoder occupies the bank before the array write starts.
-  const double done = timing_.access(w.line_addr, MemOp::kWrite, now);
+  double done = timing_.access(w.line_addr, MemOp::kWrite, now);
   ++stats_.array_writes;
+  if (ras_) {
+    // Program-and-verify: failed pulses re-issue with exponential
+    // backoff (re-pulse r costs 2^(r-1) array-write times), escalations
+    // rewrite the line (SAFER) or copy it to a spare (retirement). All
+    // of it occupies the bank in virtual time, delaying later row hits.
+    const FaultDomain::WriteOutcome out =
+        ras_->on_array_write(w.line_addr, now);
+    const double tw = timing_.org().t_write_ns;
+    double extra = 0.0;
+    if (out.retries > 0) {
+      extra += tw * static_cast<double>((u64{1} << out.retries) - 1);
+    }
+    if (out.remapped) extra += tw;
+    if (out.retired) extra += timing_.org().t_read_ns + tw;
+    if (extra > 0.0) {
+      timing_.occupy_bank(channel_, w.where.bank, done, extra);
+      ras_->add_busy(extra);
+      done += extra;
+    }
+  }
   stats_.last_completion_ns = std::max(stats_.last_completion_ns, done);
   slot_free_at_ = now + t_cmd_ns_;
   // The freed slot un-parks stalled writers (their CPUs resume now).
@@ -207,6 +285,28 @@ void ChannelShard::issue_write(double now) {
   if (draining_ && parked_.empty() && writes_.size() <= low_watermark_) {
     draining_ = false;
   }
+  return true;
+}
+
+void ChannelShard::issue_scrub(double now) {
+  const PendingScrub s = *scrub_;
+  scrub_.reset();
+  const double done = timing_.access(s.line_addr, MemOp::kRead, now);
+  const FaultDomain::ScrubOutcome out =
+      ras_->on_scrub_read(s.line_addr, now);
+  // Scrub-on-read repair work occupies the bank: writing back a corrected
+  // image costs one array write, an uncorrectable escalation costs the
+  // retirement copy.
+  double extra = 0.0;
+  if (out.corrected) extra += timing_.org().t_write_ns;
+  if (out.uncorrectable) {
+    extra += timing_.org().t_read_ns + timing_.org().t_write_ns;
+  }
+  if (extra > 0.0) {
+    timing_.occupy_bank(channel_, s.where.bank, done, extra);
+    ras_->add_busy(extra);
+  }
+  slot_free_at_ = now + t_cmd_ns_;
 }
 
 MemSysCompletion ChannelShard::pop_completion() {
@@ -245,6 +345,37 @@ double ChannelShard::drain_all() {
 bool ChannelShard::idle() const noexcept {
   return completions_.empty() && reads_.empty() && writes_.empty() &&
          parked_.empty();
+}
+
+RasReport collect_ras_report(const std::vector<ChannelShard>& shards) {
+  RasReport report;
+  bool any = false;
+  for (const ChannelShard& shard : shards) {
+    if (shard.ras() != nullptr) any = true;
+  }
+  if (!any) return report;
+  report.channels.reserve(shards.size());
+  for (const ChannelShard& shard : shards) {
+    const FaultDomain* domain = shard.ras();
+    report.channels.push_back(domain != nullptr ? domain->stats()
+                                                : RasStats{});
+    if (domain != nullptr) {
+      report.events.insert(report.events.end(), domain->events().begin(),
+                           domain->events().end());
+      report.events_dropped += domain->events_dropped();
+    }
+  }
+  // Per-shard logs are chronological; a stable sort on time with a
+  // channel tie-break yields one global order independent of worker
+  // scheduling.
+  std::stable_sort(report.events.begin(), report.events.end(),
+                   [](const RasEvent& a, const RasEvent& b) {
+                     if (a.time_ns != b.time_ns) {
+                       return a.time_ns < b.time_ns;
+                     }
+                     return a.channel < b.channel;
+                   });
+  return report;
 }
 
 }  // namespace nvmenc

@@ -27,6 +27,7 @@
 
 #include "common/flat_set.hpp"
 #include "common/ring_buffer.hpp"
+#include "memsys/ras.hpp"
 #include "memsys/request.hpp"
 #include "nvm/timing.hpp"
 
@@ -50,15 +51,19 @@ class ChannelShard {
   /// Submits a request with a caller-allocated ticket (the serial
   /// front-end hands out globally increasing tickets; sharded drivers use
   /// submit(), below). Arrivals must be nondecreasing in time and never
-  /// earlier than a completion this shard already returned.
+  /// earlier than a completion this shard already returned. `remapped`
+  /// marks traffic redirected here from a degraded channel: it flows
+  /// through this shard's bounded remapping queue and may pay a
+  /// congestion-backoff charge (bank occupancy) on the way in.
   void submit_with_ticket(u64 ticket, u64 line_addr, ReqKind kind,
-                          double now_ns);
+                          double now_ns, bool remapped = false);
 
   /// Submits with a shard-local ticket. Ticket VALUES differ from the
   /// serial front-end's, but their relative order within the shard — the
   /// only thing the completion tie-break and statistics depend on — is
   /// identical, which is why sharded and serial runs match bit for bit.
-  u64 submit(u64 line_addr, ReqKind kind, double now_ns);
+  u64 submit(u64 line_addr, ReqKind kind, double now_ns,
+             bool remapped = false);
 
   /// Local pump: same contract as MemorySystem::step_until, restricted to
   /// this shard's requests.
@@ -97,6 +102,27 @@ class ChannelShard {
   [[nodiscard]] usize pending_reads() const noexcept { return reads_.size(); }
   [[nodiscard]] bool idle() const noexcept;
 
+  // --- RAS layer (present only when MemSysConfig::ras is enabled) ---
+
+  /// The shard's fault domain, or nullptr when the run models perfect
+  /// media (the default — the fault-free path is byte-identical to a
+  /// build without the RAS layer).
+  [[nodiscard]] const FaultDomain* ras() const noexcept {
+    return ras_ ? &*ras_ : nullptr;
+  }
+  /// True once this channel has tripped into degraded mode. Drivers poll
+  /// this at deterministic points (epoch boundaries) and remap new
+  /// traffic to surviving channels.
+  [[nodiscard]] bool ras_degraded() const noexcept {
+    return ras_ && ras_->degraded();
+  }
+  /// Applies time-based RAS transitions (the scripted media kill) at
+  /// `now_ns`. Drivers call this at epoch boundaries so a killed channel
+  /// trips even when no further arrivals reach it.
+  void poll_ras(double now_ns) {
+    if (ras_) ras_->poll(now_ns);
+  }
+
  private:
   struct PendingRead {
     u64 ticket = 0;
@@ -113,6 +139,11 @@ class ChannelShard {
     u64 ticket = 0;
     u64 line_addr = 0;
     double arrival = 0.0;
+  };
+  struct PendingScrub {
+    u64 line_addr = 0;
+    double arrival = 0.0;
+    BankAddress where;
   };
   struct LaterCompletion {
     bool operator()(const MemSysCompletion& a,
@@ -131,8 +162,10 @@ class ChannelShard {
     void reserve(usize n) { c.reserve(n); }
   };
 
-  void issue_read(double now);
-  void issue_write(double now);
+  bool issue_read(double now);
+  bool issue_write(double now);
+  void issue_scrub(double now);
+  void maybe_arm_scrub(double now);
   void accept_write(u64 ticket, u64 line_addr, double arrival,
                     double accept_time);
   void push_completion(const MemSysCompletion& completion);
@@ -161,6 +194,21 @@ class ChannelShard {
   bool flushing_ = false;
   double slot_free_at_ = 0.0;
   u64 next_ticket_ = 0;
+
+  // RAS layer: the fault domain plus the background scrub engine's
+  // state. scrub_ holds at most one pending scrub read; it is armed on
+  // arrivals (a pure function of the shard's arrival sequence, keeping
+  // serial and sharded runs identical) and issued by the arbiter only
+  // when no demand request is eligible.
+  std::optional<FaultDomain> ras_;
+  std::optional<PendingScrub> scrub_;
+  double next_scrub_at_ = 0.0;
 };
+
+/// Per-channel RAS stats + the event logs merged in (time, channel)
+/// order — the deterministic view the drivers attach to their results.
+/// Empty when the shards carry no RAS layer.
+[[nodiscard]] RasReport collect_ras_report(
+    const std::vector<ChannelShard>& shards);
 
 }  // namespace nvmenc

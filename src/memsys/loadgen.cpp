@@ -117,6 +117,7 @@ struct LaterArrival {
 LoadResult run_load(const LoadGenConfig& load, const MemSysConfig& mem) {
   load.validate();
   MemorySystem sys{mem};
+  const bool ras_on = mem.ras.enabled();
   const AddressSampler sampler{load};
 
   // Fork one generator per user so the per-user streams are independent of
@@ -152,11 +153,23 @@ LoadResult run_load(const LoadGenConfig& load, const MemSysConfig& mem) {
     const UserArrival arr = arrivals.top();
     arrivals.pop();
     if (issued >= load.requests) continue;  // quota filled: user retires
-    const u64 addr = sampler.draw(rngs[arr.user], issued);
+    u64 addr = sampler.draw(rngs[arr.user], issued);
     const ReqKind kind = rngs[arr.user].next_bool(load.read_fraction)
                              ? ReqKind::kRead
                              : ReqKind::kWrite;
-    inflight.emplace(sys.submit(addr, kind, arr.time_ns), arr.user);
+    bool remapped = false;
+    if (ras_on) {
+      // Closed-loop arrivals are already processed one at a time in
+      // global time order, so the serial driver can re-route around
+      // degraded channels at every submit (the single-threaded analogue
+      // of the replay engines' epoch-boundary mask).
+      sys.poll_ras(arr.time_ns);
+      const u64 routed = sys.route_for_degradation(addr);
+      remapped = routed != addr;
+      addr = routed;
+    }
+    inflight.emplace(sys.submit(addr, kind, arr.time_ns, remapped),
+                     arr.user);
     ++issued;
   }
 
@@ -164,14 +177,8 @@ LoadResult run_load(const LoadGenConfig& load, const MemSysConfig& mem) {
   result.makespan_ns = sys.drain_all();
   result.stats = sys.stats();
   result.timing = sys.timing_stats();
+  result.ras = sys.ras_report();
   return result;
-}
-
-u64 pin_line_to_channel(const MemOrg& org, u64 addr,
-                        usize channel) noexcept {
-  const u64 row_id = addr / org.row_bytes;
-  const u64 pinned_row = (row_id / org.channels) * org.channels + channel;
-  return pinned_row * org.row_bytes + addr % org.row_bytes;
 }
 
 LoadResult run_load_sharded(const LoadGenConfig& load,
@@ -261,6 +268,7 @@ LoadResult run_load_sharded(const LoadGenConfig& load,
     result.stats.merge(shards[c].stats());
     result.timing.merge(shards[c].timing_stats());
   }
+  result.ras = collect_ras_report(shards);
   result.makespan_ns = result.stats.last_completion_ns;
   return result;
 }

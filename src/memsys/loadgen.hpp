@@ -79,6 +79,7 @@ class AddressSampler {
 struct LoadResult {
   MemSysStats stats;     ///< request-level counters + latency histograms
   TimingStats timing;    ///< array-level counters (row hits, bank latency)
+  RasReport ras;         ///< per-channel fault/recovery view (empty = RAS off)
   double makespan_ns = 0.0;  ///< last array operation finished
 
   [[nodiscard]] bool operator==(const LoadResult&) const = default;
@@ -88,14 +89,6 @@ struct LoadResult {
 /// drained) and returns the collected statistics.
 [[nodiscard]] LoadResult run_load(const LoadGenConfig& load,
                                   const MemSysConfig& mem);
-
-/// Remaps a line address into `channel`'s row group, preserving the
-/// within-row offset (rows interleave over channels in decompose, so this
-/// replaces the row's channel digit and nothing else). The sharded load
-/// generator pins each user's stream with this; exposed for the pinning
-/// property tests.
-[[nodiscard]] u64 pin_line_to_channel(const MemOrg& org, u64 addr,
-                                      usize channel) noexcept;
 
 /// Channel-sharded closed loop: user u is pinned to channel u % channels
 /// (its addresses are remapped into that channel's row groups, keeping
@@ -109,7 +102,11 @@ struct LoadResult {
 /// cross-channel interleaving by construction — but it is deterministic
 /// in the same strong sense: every stream is (seed, user)-keyed, shards
 /// share nothing, and statistics merge in channel-id order, so results
-/// are bit-identical for any `jobs` value.
+/// are bit-identical for any `jobs` value. With the RAS layer enabled,
+/// pinned users ride their channel through degradation (faults, scrub,
+/// and the degraded-mode trip are all modelled and reported; only the
+/// cross-channel re-routing of run_load is absent, since pinning is the
+/// point of this driver).
 [[nodiscard]] LoadResult run_load_sharded(const LoadGenConfig& load,
                                           const MemSysConfig& mem,
                                           usize jobs);

@@ -20,6 +20,9 @@ void MemSysConfig::validate() const {
           "watermarks must satisfy low < high <= capacity");
   require(t_cmd_ns >= 0.0 && forward_ns >= 0.0 && starvation_cap_ns >= 0.0,
           "memory-system times must be non-negative");
+  ras.validate();
+  require(ras.kill_channel < static_cast<int>(org.channels),
+          "kill channel out of range");
 }
 
 MemorySystem::MemorySystem(MemSysConfig config) : config_{config} {
@@ -30,11 +33,32 @@ MemorySystem::MemorySystem(MemSysConfig config) : config_{config} {
   }
 }
 
-u64 MemorySystem::submit(u64 line_addr, ReqKind kind, double now_ns) {
+u64 MemorySystem::submit(u64 line_addr, ReqKind kind, double now_ns,
+                         bool remapped) {
   const u64 ticket = next_ticket_++;
   shards_[channel_of(line_addr)].submit_with_ticket(ticket, line_addr, kind,
-                                                    now_ns);
+                                                    now_ns, remapped);
   return ticket;
+}
+
+void MemorySystem::poll_ras(double now_ns) {
+  for (ChannelShard& shard : shards_) shard.poll_ras(now_ns);
+}
+
+std::vector<u8> MemorySystem::degraded_mask() const {
+  if (!config_.ras.enabled()) return {};
+  std::vector<u8> mask(shards_.size(), 0);
+  for (usize c = 0; c < shards_.size(); ++c) {
+    mask[c] = shards_[c].ras_degraded() ? 1 : 0;
+  }
+  return mask;
+}
+
+u64 MemorySystem::route_for_degradation(u64 line_addr) const {
+  if (!config_.ras.enabled()) return line_addr;
+  const usize home = channel_of(line_addr);
+  if (!shards_[home].ras_degraded()) return line_addr;
+  return ras_remap_line(config_.org, line_addr, degraded_mask());
 }
 
 std::optional<MemSysCompletion> MemorySystem::step_until(double t_ns) {

@@ -53,6 +53,10 @@ struct MemSysConfig {
   /// Issue buffered writes when a channel has no pending reads, keeping
   /// queues shallow at low load instead of waiting for the watermark.
   bool opportunistic_writes = true;
+  /// RAS layer: faulty-media write path, background scrub, graceful
+  /// channel degradation (memsys/ras.hpp). Disabled by default — the
+  /// fault-free path is byte-identical to earlier revisions.
+  RasConfig ras;
 
   void validate() const;
 };
@@ -63,8 +67,12 @@ class MemorySystem {
 
   /// Submits a request arriving at `now_ns` and returns its ticket.
   /// Arrivals must be delivered in nondecreasing time order, and never
-  /// earlier than a completion already returned by step_until.
-  u64 submit(u64 line_addr, ReqKind kind, double now_ns);
+  /// earlier than a completion already returned by step_until. `remapped`
+  /// marks traffic a driver redirected here from a degraded channel
+  /// (route_for_degradation / ras_remap_line); the target shard accounts
+  /// it through its bounded remapping queue.
+  u64 submit(u64 line_addr, ReqKind kind, double now_ns,
+             bool remapped = false);
 
   /// Advances arbitration and returns the earliest undelivered completion
   /// if its time is <= `t_ns`; otherwise processes everything schedulable
@@ -97,6 +105,24 @@ class MemorySystem {
   }
   [[nodiscard]] usize channel_of(u64 line_addr) const noexcept {
     return channel_of_line(config_.org, line_addr);
+  }
+
+  // --- RAS layer ---
+
+  /// Applies time-based RAS transitions (the scripted media kill) on
+  /// every shard. Drivers call this at their deterministic decision
+  /// points (epoch boundaries, closed-loop arrivals).
+  void poll_ras(double now_ns);
+  /// Channel-indexed degraded flags (empty when RAS is off).
+  [[nodiscard]] std::vector<u8> degraded_mask() const;
+  /// Reroutes `line_addr` off a degraded home channel onto a surviving
+  /// one (ras_remap_line over the live degraded flags); returns the
+  /// address unchanged when RAS is off, the home is healthy, or no
+  /// channel survives.
+  [[nodiscard]] u64 route_for_degradation(u64 line_addr) const;
+  /// Per-channel RAS stats + merged event log (empty when RAS is off).
+  [[nodiscard]] RasReport ras_report() const {
+    return collect_ras_report(shards_);
   }
 
  private:

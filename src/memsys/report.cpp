@@ -49,16 +49,70 @@ TextTable replay_table(const std::string& trace_name,
 }
 
 TextTable replay_sweep_table(const std::vector<ReplaySweepCell>& cells) {
-  TextTable table{{"scheme", "encode ns", "GB/s", "p50", "p95", "p99",
-                   "p99.9", "stalls"}};
+  bool with_ras = false;
+  for (const ReplaySweepCell& cell : cells) {
+    if (cell.result.ras.any()) with_ras = true;
+  }
+  std::vector<std::string> header{"scheme", "encode ns", "GB/s", "p50",
+                                  "p95",    "p99",       "p99.9", "stalls"};
+  if (with_ras) {
+    header.insert(header.end(), {"retired", "UE", "degr"});
+  }
+  TextTable table{header};
   for (const ReplaySweepCell& cell : cells) {
     const MemSysStats& s = cell.result.stats;
     const LatencyHistogram& h = s.read_latency_ns;
-    table.add_row({cell.label, TextTable::fmt(cell.encode_latency_ns, 2),
-                   TextTable::fmt(s.sustained_gbps(), 3),
-                   TextTable::fmt(h.p50(), 0), TextTable::fmt(h.p95(), 0),
-                   TextTable::fmt(h.p99(), 0), TextTable::fmt(h.p999(), 0),
-                   std::to_string(s.write_stalls)});
+    std::vector<std::string> row{
+        cell.label, TextTable::fmt(cell.encode_latency_ns, 2),
+        TextTable::fmt(s.sustained_gbps(), 3), TextTable::fmt(h.p50(), 0),
+        TextTable::fmt(h.p95(), 0), TextTable::fmt(h.p99(), 0),
+        TextTable::fmt(h.p999(), 0), std::to_string(s.write_stalls)};
+    if (with_ras) {
+      const RasStats totals = cell.result.ras.totals();
+      row.insert(row.end(), {std::to_string(totals.retired_lines),
+                             std::to_string(totals.uncorrectable()),
+                             std::to_string(totals.degraded)});
+    }
+    table.add_row(row);
+  }
+  return table;
+}
+
+TextTable ras_table(const RasReport& report) {
+  TextTable table{{"channel", "faulty wr", "retries", "safer", "retired",
+                   "spare wr", "scrubs", "fixed", "UE", "remap in",
+                   "backoff", "spares", "state"}};
+  auto add = [&](const std::string& label, const RasStats& s) {
+    table.add_row(
+        {label, std::to_string(s.faulty_writes),
+         std::to_string(s.write_retries), std::to_string(s.safer_remaps),
+         std::to_string(s.retired_lines), std::to_string(s.spare_writes),
+         std::to_string(s.scrub_reads), std::to_string(s.scrub_corrections),
+         std::to_string(s.uncorrectable()), std::to_string(s.remapped_in),
+         std::to_string(s.remap_backoff), std::to_string(s.spares_left),
+         s.degraded != 0
+             ? "degraded @ " + TextTable::fmt(s.degraded_at_ns / 1e6, 3) +
+                   " ms"
+             : "ok"});
+  };
+  for (usize c = 0; c < report.channels.size(); ++c) {
+    add(std::to_string(c), report.channels[c]);
+  }
+  add("all", report.totals());
+  return table;
+}
+
+TextTable ras_events_table(const RasReport& report) {
+  TextTable table{{"time (ms)", "channel", "event", "line"}};
+  for (const RasEvent& e : report.events) {
+    table.add_row({TextTable::fmt(e.time_ns / 1e6, 3),
+                   std::to_string(e.channel), ras_event_name(e.kind),
+                   std::to_string(e.line)});
+  }
+  if (report.events_dropped > 0) {
+    table.add_row({"", "", "(+ " + std::to_string(report.events_dropped) +
+                               " events beyond the per-channel log cap)",
+                   ""});
   }
   return table;
 }

@@ -35,4 +35,14 @@ namespace nvmenc {
                                    const LoadGenConfig& load,
                                    const LoadResult& result);
 
+/// Per-channel RAS activity (one row per channel plus a totals row).
+/// Render only when report.any(); fault-free runs print no RAS tables,
+/// keeping their output byte-identical to earlier revisions.
+[[nodiscard]] TextTable ras_table(const RasReport& report);
+
+/// The merged RAS event log (retirements, uncorrectable errors,
+/// degradations) in (time, channel) order, with a trailing overflow row
+/// when per-shard logs dropped events.
+[[nodiscard]] TextTable ras_events_table(const RasReport& report);
+
 }  // namespace nvmenc

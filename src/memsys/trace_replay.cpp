@@ -28,15 +28,35 @@ TraceReplayResult replay_impl(const Source& trace, u64 count,
                               const MemSysConfig& mem) {
   replay.validate();
   MemorySystem sys{mem};
+  const bool ras_on = mem.ras.enabled();
+  // Degradation control: channel health is polled and the routing mask
+  // refreshed only at epoch boundaries — the same control interval the
+  // sharded engine's barriers impose — so both engines make identical
+  // re-routing decisions for every access.
+  std::vector<u8> degraded;
+  bool any_degraded = false;
   constexpr u64 kTickStride = 65'536;
   for (u64 i = 0; i < count; ++i) {
     const double now = static_cast<double>(i) * replay.inter_arrival_ns;
     while (sys.step_until(now)) {
     }
+    if (ras_on && i % replay.epoch_accesses == 0) {
+      sys.poll_ras(now);
+      degraded = sys.degraded_mask();
+      any_degraded = std::find(degraded.begin(), degraded.end(), u8{1}) !=
+                     degraded.end();
+    }
     const MemAccess a = trace[i];
-    (void)sys.submit(a.line_addr(),
+    u64 addr = a.line_addr();
+    bool remapped = false;
+    if (any_degraded && degraded[channel_of_line(mem.org, addr)] != 0) {
+      const u64 routed = ras_remap_line(mem.org, addr, degraded);
+      remapped = routed != addr;
+      addr = routed;
+    }
+    (void)sys.submit(addr,
                      a.op == Op::kRead ? ReqKind::kRead : ReqKind::kWrite,
-                     now);
+                     now, remapped);
     if (replay.progress != nullptr && (i + 1) % kTickStride == 0) {
       replay.progress->tick("replay", i + 1, count);
     }
@@ -45,6 +65,7 @@ TraceReplayResult replay_impl(const Source& trace, u64 count,
   result.makespan_ns = sys.drain_all();
   result.stats = sys.stats();
   result.timing = sys.timing_stats();
+  result.ras = sys.ras_report();
   result.accesses = count;
   if (replay.progress != nullptr) {
     replay.progress->tick("replay", count, count);
@@ -66,21 +87,58 @@ TraceReplayResult replay_sharded_impl(const Source& trace, u64 count,
   replay.validate();
   mem.validate();
   const usize nch = mem.org.channels;
+  const bool ras_on = mem.ras.enabled();
   std::vector<ChannelShard> shards;
   shards.reserve(nch);
   for (usize c = 0; c < nch; ++c) shards.emplace_back(mem, c);
+
+  // Degradation routing mask: written only at epoch barriers (below),
+  // read concurrently by every worker during an epoch — the same
+  // boundary-snapshot discipline the serial engine follows, so both
+  // engines re-route the same accesses.
+  std::vector<u8> degraded(nch, 0);
+  bool any_degraded = false;
 
   auto pump_slice = [&](usize c, u64 begin, u64 end) {
     ChannelShard& shard = shards[c];
     for (u64 i = begin; i < end; ++i) {
       const MemAccess a = trace[i];
-      const u64 addr = a.line_addr();
+      u64 addr = a.line_addr();
+      bool remapped = false;
+      if (any_degraded && degraded[channel_of_line(mem.org, addr)] != 0) {
+        const u64 routed = ras_remap_line(mem.org, addr, degraded);
+        remapped = routed != addr;
+        addr = routed;
+      }
       if (channel_of_line(mem.org, addr) != c) continue;
       const double now = static_cast<double>(i) * replay.inter_arrival_ns;
       while (shard.step_until(now)) {
       }
       (void)shard.submit(
-          addr, a.op == Op::kRead ? ReqKind::kRead : ReqKind::kWrite, now);
+          addr, a.op == Op::kRead ? ReqKind::kRead : ReqKind::kWrite, now,
+          remapped);
+    }
+    if (ras_on) {
+      // Pump to the epoch edge so every event scheduled before the
+      // barrier (spare exhaustion, UE trips) has executed when channel
+      // health is polled. Splitting a pump at extra bounds never changes
+      // a shard's evolution — it is a pure function of its arrival
+      // sequence — so this matches the serial engine, which has advanced
+      // all shards to the boundary time before it polls.
+      const double edge = static_cast<double>(end) * replay.inter_arrival_ns;
+      while (shard.step_until(edge)) {
+      }
+    }
+  };
+
+  auto poll_edge = [&](u64 base) {
+    if (!ras_on) return;
+    const double edge = static_cast<double>(base) * replay.inter_arrival_ns;
+    any_degraded = false;
+    for (usize c = 0; c < nch; ++c) {
+      shards[c].poll_ras(edge);
+      degraded[c] = shards[c].ras_degraded() ? 1 : 0;
+      if (degraded[c] != 0) any_degraded = true;
     }
   };
 
@@ -90,6 +148,7 @@ TraceReplayResult replay_sharded_impl(const Source& trace, u64 count,
     // irrelevant because shards share nothing.
     for (u64 base = 0; base < count; base += replay.epoch_accesses) {
       const u64 end = std::min(count, base + replay.epoch_accesses);
+      poll_edge(base);
       for (usize c = 0; c < nch; ++c) pump_slice(c, base, end);
       if (replay.progress != nullptr) {
         replay.progress->tick("replay", end, count);
@@ -100,6 +159,7 @@ TraceReplayResult replay_sharded_impl(const Source& trace, u64 count,
     ThreadPool pool{workers};
     for (u64 base = 0; base < count; base += replay.epoch_accesses) {
       const u64 end = std::min(count, base + replay.epoch_accesses);
+      poll_edge(base);
       // parallel_for joins every shard before the next epoch: the barrier
       // that bounds wall-clock drift between shards.
       parallel_for(pool, nch,
@@ -118,6 +178,7 @@ TraceReplayResult replay_sharded_impl(const Source& trace, u64 count,
     result.stats.merge(shards[c].stats());
     result.timing.merge(shards[c].timing_stats());
   }
+  result.ras = collect_ras_report(shards);
   result.makespan_ns = result.stats.last_completion_ns;
   result.accesses = count;
   return result;

@@ -49,9 +49,13 @@ struct TraceReplayConfig {
   double inter_arrival_ns = 10.0;
   /// Replay at most this many accesses (0 = the whole trace).
   u64 max_accesses = 0;
-  /// Sharded engine: accesses per epoch between barriers. Results never
-  /// depend on this (shards share nothing); it only bounds how far shards
-  /// drift apart in wall-clock and paces progress ticks.
+  /// Sharded engine: accesses per epoch between barriers. With the RAS
+  /// layer off, results never depend on this (shards share nothing); it
+  /// only bounds how far shards drift apart in wall-clock and paces
+  /// progress ticks. With RAS enabled it is also the degradation control
+  /// interval — BOTH engines poll channel health and re-route traffic at
+  /// epoch boundaries only, so serial and sharded runs still agree at
+  /// every --jobs value for a fixed epoch length.
   u64 epoch_accesses = 1'000'000;
   /// Optional within-run progress sink (rate-limited ETA lines).
   ProgressReporter* progress = nullptr;
@@ -62,6 +66,7 @@ struct TraceReplayConfig {
 struct TraceReplayResult {
   MemSysStats stats;    ///< request-level counters + latency histograms
   TimingStats timing;   ///< array-level counters (row hits, bank latency)
+  RasReport ras;        ///< per-channel fault/recovery view (empty = RAS off)
   double makespan_ns = 0.0;  ///< last array operation finished
   u64 accesses = 0;          ///< accesses actually replayed
 

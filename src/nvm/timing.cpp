@@ -84,6 +84,14 @@ double MemoryTimingModel::bank_free_at(usize channel, usize bank) const {
   return banks_[channel * org_.ranks * org_.banks + bank].free_at;
 }
 
+void MemoryTimingModel::occupy_bank(usize channel, usize bank,
+                                    double from_ns, double extra_ns) {
+  require(channel < org_.channels && bank < org_.ranks * org_.banks,
+          "bank index out of range");
+  BankState& state = banks_[channel * org_.ranks * org_.banks + bank];
+  state.free_at = std::max(state.free_at, from_ns) + extra_ns;
+}
+
 bool MemoryTimingModel::row_open(usize channel, usize bank, u64 row) const {
   require(channel < org_.channels && bank < org_.ranks * org_.banks,
           "bank index out of range");

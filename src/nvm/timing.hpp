@@ -57,6 +57,18 @@ struct BankAddress {
   return static_cast<usize>((line_addr / org.row_bytes) % org.channels);
 }
 
+/// Remaps a line address into `channel`'s row group, preserving the
+/// within-row offset (rows interleave over channels in decompose, so this
+/// replaces the row's channel digit and nothing else). The sharded load
+/// generator pins user streams with this, and the RAS layer reuses it to
+/// redirect traffic off degraded channels (ras_remap_line).
+[[nodiscard]] inline u64 pin_line_to_channel(const MemOrg& org, u64 addr,
+                                             usize channel) noexcept {
+  const u64 row_id = addr / org.row_bytes;
+  const u64 pinned_row = (row_id / org.channels) * org.channels + channel;
+  return pinned_row * org.row_bytes + addr % org.row_bytes;
+}
+
 enum class MemOp : u8 { kRead, kWrite };
 
 struct TimingStats {
@@ -107,6 +119,15 @@ class MemoryTimingModel {
   /// True when the bank's row buffer currently holds `row` — the FR-FCFS
   /// row-hit test an external arbiter needs to prefer open-row requests.
   [[nodiscard]] bool row_open(usize channel, usize bank, u64 row) const;
+
+  /// Holds the bank busy for `extra_ns` beyond max(free_at, from_ns):
+  /// the RAS layer's hook for charging recovery work (program-and-verify
+  /// re-pulses, SAFER re-partitions, retirement copies) in virtual time.
+  /// The occupancy delays every later request on the bank — exactly how
+  /// faulty media surfaces in the read tail — without touching the bus or
+  /// the latency statistics of the access that triggered it.
+  void occupy_bank(usize channel, usize bank, double from_ns,
+                   double extra_ns);
 
  private:
   struct BankState {

@@ -200,6 +200,15 @@ void TraceWriter::append(const MemAccess& access) {
   unsigned char rec[kTraceRecordBytes];
   encode_record(rec, access);
   impl_->out.write(reinterpret_cast<const char*>(rec), sizeof rec);
+  // The stream is buffered, so a failed flush (disk full, quota, dead
+  // mount) surfaces here on a later append rather than on the one that
+  // overflowed the buffer — but it surfaces, with the filename, instead
+  // of silently truncating the capture until close().
+  if (!impl_->out) {
+    throw std::runtime_error("trace write failed after " +
+                             std::to_string(count_) + " records: " +
+                             impl_->path + " (disk full?)");
+  }
   ++count_;
 }
 
@@ -212,7 +221,10 @@ void TraceWriter::close() {
   impl_->out.write(reinterpret_cast<const char*>(cnt), sizeof cnt);
   impl_->out.flush();
   if (!impl_->out) {
-    throw std::runtime_error("trace write failed: " + impl_->path);
+    throw std::runtime_error("trace close failed after " +
+                             std::to_string(count_) + " records: " +
+                             impl_->path +
+                             " (count not patched; disk full?)");
   }
 }
 

@@ -103,6 +103,27 @@ TEST(ShardedLoadGenTest, PinningLandsOnTheHomeChannel) {
   }
 }
 
+TEST(ShardedLoadGenTest, FaultInjectionStaysJobsInvariant) {
+  const LoadGenConfig load = small_load();
+  MemSysConfig mem = small_mem();
+  mem.ras.inject.write_fail_rate = 2e-3;
+  mem.ras.inject.read_disturb_rate = 1e-3;
+  mem.ras.inject.stuck_rate = 1e-4;
+  mem.ras.inject.seed = 9;
+  mem.ras.scrub_interval_ns = 2'000.0;
+  const LoadResult one = run_load_sharded(load, mem, 1);
+  EXPECT_TRUE(one.ras.any());
+  for (usize jobs : {usize{2}, usize{4}}) {
+    const LoadResult many = run_load_sharded(load, mem, jobs);
+    EXPECT_EQ(one, many) << "jobs=" << jobs;
+    EXPECT_EQ(render(load, one), render(load, many)) << "jobs=" << jobs;
+    std::ostringstream a, b;
+    ras_table(one.ras).print(a);
+    ras_table(many.ras).print(b);
+    EXPECT_EQ(a.str(), b.str()) << "jobs=" << jobs;
+  }
+}
+
 TEST(ShardedLoadGenTest, SingleChannelSingleUserStillCompletes) {
   LoadGenConfig load = small_load();
   load.users = 1;

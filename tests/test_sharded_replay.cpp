@@ -124,6 +124,43 @@ TEST_F(ShardedReplayTest, ChannelOfLineAgreesWithDecompose) {
   }
 }
 
+TEST_F(ShardedReplayTest, FaultInjectionStaysJobsInvariant) {
+  // The RAS layer draws faults, scrubs in the background, and charges
+  // recovery work to the banks — all of it keyed, none of it allowed to
+  // break the bit-identical contract (tables included, RAS tables too).
+  const MappedTrace trace{bin_path_};
+  TraceReplayConfig replay;
+  replay.epoch_accesses = 1000;
+  mem_.ras.inject.write_fail_rate = 2e-3;
+  mem_.ras.inject.read_disturb_rate = 1e-3;
+  mem_.ras.inject.stuck_rate = 1e-4;
+  mem_.ras.inject.seed = 9;
+  mem_.ras.scrub_interval_ns = 2'000.0;
+  const TraceReplayResult serial = replay_trace(trace, replay, mem_);
+  EXPECT_TRUE(serial.ras.any());
+  for (usize jobs : {usize{1}, usize{2}, usize{4}}) {
+    const TraceReplayResult sharded =
+        replay_trace_sharded(trace, replay, mem_, jobs);
+    EXPECT_EQ(serial, sharded) << "jobs=" << jobs;
+    EXPECT_EQ(render(replay, serial), render(replay, sharded))
+        << "jobs=" << jobs;
+    std::ostringstream a, b;
+    ras_table(serial.ras).print(a);
+    ras_table(sharded.ras).print(b);
+    ras_events_table(serial.ras).print(a);
+    ras_events_table(sharded.ras).print(b);
+    EXPECT_EQ(a.str(), b.str()) << "jobs=" << jobs;
+  }
+}
+
+TEST_F(ShardedReplayTest, RasOffLeavesTheReportEmpty) {
+  const MappedTrace trace{bin_path_};
+  const TraceReplayConfig replay;
+  const TraceReplayResult r = replay_trace(trace, replay, mem_);
+  EXPECT_FALSE(r.ras.any());
+  EXPECT_TRUE(r.ras.events.empty());
+}
+
 TEST_F(ShardedReplayTest, ValidateRejectsZeroEpoch) {
   TraceReplayConfig replay;
   replay.epoch_accesses = 0;

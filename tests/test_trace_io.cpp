@@ -248,5 +248,46 @@ TEST(TraceWriter, MatchesVectorWriterByteForByte) {
   EXPECT_EQ(slurp(a), slurp(b));
 }
 
+TEST(TraceWriter, FullDiskFailsLoudlyWithTheFilename) {
+  // /dev/full accepts the open and fails every flush with ENOSPC — the
+  // classic silent-truncation trap. The writer must name the file in the
+  // diagnostic instead of producing a short capture.
+  if (!std::ifstream{"/dev/full"}.good()) {
+    GTEST_SKIP() << "/dev/full not available on this host";
+  }
+  bool threw = false;
+  try {
+    TraceWriter writer{"/dev/full"};
+    // Push well past any stream buffer so a flush happens mid-append.
+    Xoshiro256 rng{17};
+    for (int i = 0; i < 100'000; ++i) {
+      writer.append({rng.next() & ~u64{7}, Op::kWrite, rng.next()});
+    }
+    writer.close();
+  } catch (const std::runtime_error& e) {
+    threw = true;
+    EXPECT_NE(std::string{e.what()}.find("/dev/full"), std::string::npos)
+        << "diagnostic must name the file: " << e.what();
+  }
+  EXPECT_TRUE(threw) << "ENOSPC was swallowed";
+}
+
+TEST(TraceWriter, CloseFailureNamesTheFile) {
+  if (!std::ifstream{"/dev/full"}.good()) {
+    GTEST_SKIP() << "/dev/full not available on this host";
+  }
+  TraceWriter writer{"/dev/full"};
+  // A handful of records stays inside the buffer; the failure must still
+  // surface at close(), when the count patch and flush hit the device.
+  try {
+    for (u64 i = 0; i < 4; ++i) writer.append({i * 8, Op::kRead, 0});
+    writer.close();
+    FAIL() << "close() on a full disk did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("/dev/full"), std::string::npos)
+        << "diagnostic must name the file: " << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace nvmenc

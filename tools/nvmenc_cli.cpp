@@ -29,10 +29,12 @@
 //              [--think-ns=X] [--requests=N] [--encode-model=paper]
 //       Closed-loop load generation against the multi-channel memory
 //       system; prints throughput and read-latency tail percentiles.
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 #include "common/cancel.hpp"
 #include "common/table.hpp"
@@ -97,6 +99,19 @@ struct Args {
   u64 max_accesses = 0;  // 0 = whole trace
   u64 epoch_accesses = 1'000'000;  // sharded-engine barrier spacing
   bool sharded = false;  // loadgen: pin users to channels, shard the loop
+  // RAS knobs (replay --memsys, loadgen): scrub, degradation, scripted kill.
+  double scrub_interval_ns = 0.0;
+  usize degrade_threshold = 4;
+  usize spare_lines = 64;
+  int kill_channel = -1;
+  double kill_at_ns = 0.0;
+  // Option names actually given on the command line, for cross-flag
+  // validation (a flag in the wrong mode is as fatal as an unknown one).
+  std::vector<std::string> seen;
+
+  [[nodiscard]] bool saw(const std::string& name) const {
+    return std::find(seen.begin(), seen.end(), name) != seen.end();
+  }
 };
 
 /// Set by the SIGINT/SIGTERM handler; the matrix polls it at write-back
@@ -140,6 +155,14 @@ void handle_stop_signal(int) { g_cancel.request_stop(); }
       "          encode-latency cells in parallel; without --schemes,\n"
       "          --jobs>1 replays channel shards in parallel epochs —\n"
       "          output is bit-identical for every --jobs value)\n"
+      "          RAS (replay --memsys and loadgen): [--fault-rate=P]\n"
+      "          [--read-disturb=P] [--stuck-rate=P] [--retry-limit=N]\n"
+      "          [--fault-seed=S] [--scrub-interval=NS]\n"
+      "          [--degrade-threshold=N] [--spare-lines=N]\n"
+      "          [--kill-channel=C] [--kill-at-ns=T]  (faulty-media\n"
+      "          write path with program-and-verify, background scrub,\n"
+      "          and graceful channel degradation; serial and sharded\n"
+      "          runs stay bit-identical at any --jobs)\n"
       "  perf:   --benchmark=NAME [--accesses=N] [--encode-ns=X] "
       "[--sched]\n"
       "  loadgen: --scheme=NAME [--pattern=uniform|zipfian|diurnal]\n"
@@ -165,8 +188,16 @@ Args parse(int argc, char** argv) {
     const std::string arg = argv[i];
     auto value = [&](const std::string& key) -> std::optional<std::string> {
       const std::string prefix = "--" + key + "=";
-      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      if (arg.rfind(prefix, 0) == 0) {
+        args.seen.push_back(key);
+        return arg.substr(prefix.size());
+      }
       return std::nullopt;
+    };
+    auto flag = [&](const std::string& key) {
+      if (arg != "--" + key) return false;
+      args.seen.push_back(key);
+      return true;
     };
     if (auto v = value("benchmark")) args.benchmark = *v;
     else if (auto v2 = value("scheme")) args.scheme = *v2;
@@ -205,18 +236,107 @@ Args parse(int argc, char** argv) {
       args.max_accesses = std::stoull(*vq);
     else if (auto vr = value("epoch-accesses"))
       args.epoch_accesses = std::stoull(*vr);
-    else if (arg == "--sharded") args.sharded = true;
-    else if (arg == "--memsys") args.memsys = true;
-    else if (arg == "--protect-meta") args.protect_meta = true;
-    else if (arg == "--atomic-writes") args.atomic_writes = true;
-    else if (arg == "--resume") args.resume = true;
-    else if (arg == "--sched") args.sched = true;
+    else if (auto vs = value("scrub-interval"))
+      args.scrub_interval_ns = std::stod(*vs);
+    else if (auto vt = value("degrade-threshold"))
+      args.degrade_threshold = std::stoull(*vt);
+    else if (auto vu = value("spare-lines"))
+      args.spare_lines = std::stoull(*vu);
+    else if (auto vv = value("kill-channel"))
+      args.kill_channel = std::stoi(*vv);
+    else if (auto vw = value("kill-at-ns"))
+      args.kill_at_ns = std::stod(*vw);
+    else if (flag("sharded")) args.sharded = true;
+    else if (flag("memsys")) args.memsys = true;
+    else if (flag("protect-meta")) args.protect_meta = true;
+    else if (flag("atomic-writes")) args.atomic_writes = true;
+    else if (flag("resume")) args.resume = true;
+    else if (flag("sched")) args.sched = true;
     else {
       std::cerr << "unknown option '" << arg << "'\n";
       usage();
     }
   }
   return args;
+}
+
+/// Rejects options that parsed fine but mean nothing in the chosen mode,
+/// with the same stderr/exit treatment as an unknown option. Silently
+/// ignoring a fault knob would let a script believe it measured faulty
+/// media when it measured a perfect array.
+void check_flag_combos(const Args& args) {
+  const bool fault_capable = args.command == "matrix" ||
+                             (args.command == "replay" && args.memsys) ||
+                             args.command == "loadgen";
+  const bool ras_capable = (args.command == "replay" && args.memsys) ||
+                           args.command == "loadgen";
+  auto reject = [&](const std::string& name, const std::string& why) {
+    if (!args.saw(name)) return;
+    std::cerr << "option '--" << name << "' " << why << "\n";
+    usage();
+  };
+  if (!fault_capable) {
+    for (const char* name : {"fault-rate", "read-disturb", "stuck-rate",
+                             "retry-limit", "fault-seed"}) {
+      reject(name, "needs a fault-capable mode (matrix, replay --memsys, "
+                   "or loadgen)");
+    }
+  }
+  if (args.command != "matrix") {
+    reject("protect-meta", "applies to the matrix controller path only");
+    reject("atomic-writes", "applies to the matrix controller path only");
+    reject("checkpoint-dir", "applies to matrix only");
+    reject("checkpoint-every", "applies to matrix only");
+    reject("resume", "applies to matrix only");
+  }
+  if (!ras_capable) {
+    for (const char* name : {"scrub-interval", "degrade-threshold",
+                             "spare-lines", "kill-channel", "kill-at-ns"}) {
+      reject(name, "needs the memory system (replay --memsys or loadgen)");
+    }
+  }
+  const bool fault_source = args.saw("fault-rate") ||
+                            args.saw("read-disturb") ||
+                            args.saw("stuck-rate");
+  if (!fault_source) {
+    reject("scrub-interval", "scrubs nothing without --fault-rate, "
+                             "--read-disturb, or --stuck-rate");
+  }
+  if (!fault_source && !args.saw("kill-channel")) {
+    reject("degrade-threshold", "needs a fault source or --kill-channel");
+    reject("spare-lines", "needs a fault source or --kill-channel");
+  }
+  if (!args.saw("kill-channel")) {
+    reject("kill-at-ns", "needs --kill-channel");
+  }
+}
+
+/// The memory-system RAS configuration carried by the fault/RAS flags.
+RasConfig ras_from_args(const Args& args) {
+  RasConfig ras;
+  ras.inject.write_fail_rate = args.fault_rate;
+  ras.inject.read_disturb_rate = args.read_disturb;
+  ras.inject.stuck_rate = args.stuck_rate;
+  ras.inject.seed = args.fault_seed;
+  ras.retry_limit = args.retry_limit;
+  ras.scrub_interval_ns = args.scrub_interval_ns;
+  ras.degrade_ue_threshold = args.degrade_threshold;
+  ras.spare_lines = args.spare_lines;
+  ras.kill_channel = args.kill_channel;
+  ras.kill_at_ns = args.kill_at_ns;
+  return ras;
+}
+
+/// RAS tables, printed only when the run had a RAS layer — fault-free
+/// output stays byte-identical to earlier revisions.
+void print_ras(const RasReport& ras) {
+  if (!ras.any()) return;
+  std::cout << "\nRAS (per channel):\n";
+  ras_table(ras).print(std::cout);
+  if (!ras.events.empty() || ras.events_dropped > 0) {
+    std::cout << "\nRAS events:\n";
+    ras_events_table(ras).print(std::cout);
+  }
 }
 
 std::vector<std::string> split_csv(const std::string& list) {
@@ -454,6 +574,7 @@ int cmd_replay_memsys(const Args& args) {
 
   MemSysConfig mem;
   mem.org.channels = args.channels;
+  mem.ras = ras_from_args(args);
   const EncodeLatencyModel model = encode_model_by_name(args.encode_model);
 
   if (!args.schemes.empty()) {
@@ -498,6 +619,7 @@ int cmd_replay_memsys(const Args& args) {
   }
   replay_table(args.in, mem.org.encode_latency_ns, replay, r)
       .print(std::cout);
+  print_ras(r.ras);
   return 0;
 }
 
@@ -587,6 +709,7 @@ int cmd_loadgen(const Args& args) {
   MemSysConfig mem;
   mem.org.channels = args.channels;
   mem.org.encode_latency_ns = encode_latency_ns(scheme, model);
+  mem.ras = ras_from_args(args);
 
   // --sharded pins each user to its home channel and runs the per-channel
   // closed loops on --jobs workers (a different, pinned workload — but
@@ -596,6 +719,7 @@ int cmd_loadgen(const Args& args) {
   load_table(scheme_name(scheme), encode_model_name(model),
              mem.org.encode_latency_ns, load, r)
       .print(std::cout);
+  print_ras(r.ras);
   return 0;
 }
 
@@ -604,6 +728,7 @@ int cmd_loadgen(const Args& args) {
 int main(int argc, char** argv) {
   try {
     const Args args = parse(argc, argv);
+    check_flag_combos(args);
     if (args.command == "list") return cmd_list();
     if (args.command == "run") return cmd_run(args);
     if (args.command == "matrix") return cmd_matrix(args);
