@@ -48,7 +48,7 @@ WearSummary summarize(NvmDevice& device, const WritebackTrace& trace,
   std::sort(seen.begin(), seen.end());
   seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
   for (const u64 addr : seen) {
-    const std::vector<u32>* wear = device.bit_wear(addr);
+    const std::vector<u64>* wear = device.bit_wear(addr);
     if (wear == nullptr) continue;
     ++lines;
     for (usize b = 0; b < kLineBits; ++b) {

@@ -26,6 +26,7 @@
 #include "common/table.hpp"
 #include "memsys/encode_cost.hpp"
 #include "memsys/loadgen.hpp"
+#include "provenance.hpp"
 #include "runner/parallel_for.hpp"
 #include "runner/parallel_runner.hpp"
 #include "runner/thread_pool.hpp"
@@ -97,6 +98,7 @@ void write_ras_json(const std::string& path, const LoadGenConfig& load,
 
   os << "{\n";
   os << "  \"bench\": \"ras_memsys\",\n";
+  os << provenance_json(load.seed);
   os << "  \"config\": {\n";
   os << "    \"pattern\": \"" << load_pattern_name(load.pattern) << "\",\n";
   os << "    \"users\": " << load.users << ",\n";

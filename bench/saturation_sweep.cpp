@@ -16,6 +16,7 @@
 #include <string>
 
 #include "memsys/sweep.hpp"
+#include "provenance.hpp"
 
 namespace nvmenc {
 namespace {
@@ -79,7 +80,8 @@ int run(const Options& opt) {
     std::cout << "[csv] " << path << "\n";
   }
   if (!opt.json_path.empty()) {
-    write_sweep_json(opt.json_path, cfg, cells);
+    write_sweep_json(opt.json_path, cfg, cells,
+                     provenance_json(cfg.load.seed));
     std::cout << "[json] " << opt.json_path << "\n";
   }
   return 0;

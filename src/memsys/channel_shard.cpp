@@ -40,6 +40,9 @@ ChannelShard::ChannelShard(const MemSysConfig& config, usize channel)
     if (config.ras.scrub_interval_ns > 0.0) {
       next_scrub_at_ = config.ras.scrub_interval_ns;
     }
+    if (config.ras.lifetime.leveler != WearLevelerKind::kNone) {
+      wl_.emplace(config.ras.lifetime, config.org, channel);
+    }
   }
 }
 
@@ -87,6 +90,18 @@ void ChannelShard::submit_with_ticket(u64 ticket, u64 line_addr,
                                       bool remapped) {
   NVMENC_DCHECK(channel_of_line(timing_.org(), line_addr) == channel_,
                 "line routed to the wrong channel shard");
+  if (wl_) {
+    // Wear-leveling translation: channel-preserving, so the routing above
+    // holds for the physical address too. The leveler observes the write
+    // arrival stream and advances here — before the mapping is consulted
+    // again — so a parked or queued write keeps the slot it was accepted
+    // into (real levelers quiesce in-flight lines the same way).
+    const u64 logical = line_addr;
+    line_addr = wl_->translate(logical);
+    if (kind == ReqKind::kWrite) {
+      charge_wl_migrations(wl_->on_write(logical), now_ns);
+    }
+  }
   if (ras_) {
     ras_->poll(now_ns);
     maybe_arm_scrub(now_ns);
@@ -125,6 +140,46 @@ void ChannelShard::submit_with_ticket(u64 ticket, u64 line_addr,
       parked_.push_back({ticket, line_addr, now_ns});
     }
   }
+}
+
+void ChannelShard::charge_wl_migrations(const std::vector<u64>& dests,
+                                        double now_ns) {
+  for (const u64 dest : dests) {
+    // One migration = read the source, write the destination: the copy
+    // holds the destination's bank, burns energy, and wears the
+    // destination's cells (half a line of flips against unrelated data).
+    const BankAddress where = timing_.decompose(dest);
+    const double copy = timing_.org().t_read_ns + timing_.org().t_write_ns;
+    timing_.occupy_bank(channel_, where.bank, now_ns, copy);
+    wl_busy_ns_ += copy;
+    wl_energy_pj_ += ras_->config().lifetime.wl_migrate_pj;
+    const FaultDomain::MigrateOutcome out =
+        ras_->on_migration_write(dest, now_ns);
+    double extra = 0.0;
+    if (out.remapped) extra += timing_.org().t_write_ns;
+    if (out.retired) {
+      extra += timing_.org().t_read_ns + timing_.org().t_write_ns;
+    }
+    if (extra > 0.0) {
+      timing_.occupy_bank(channel_, where.bank, now_ns, extra);
+      ras_->add_busy(extra);
+    }
+  }
+}
+
+LifetimeStats ChannelShard::lifetime_stats() const {
+  LifetimeStats stats;
+  if (const LifetimeEngine* engine = ras_ ? ras_->lifetime() : nullptr) {
+    stats = engine->stats();
+  }
+  if (wl_) {
+    stats.wl_writes = wl_->demand_writes();
+    stats.wl_moves = wl_->migrations();
+    stats.wl_uniformity = wl_->uniformity();
+  }
+  stats.wl_busy_ns = wl_busy_ns_;
+  stats.wl_energy_pj = wl_energy_pj_;
+  return stats;
 }
 
 u64 ChannelShard::submit(u64 line_addr, ReqKind kind, double now_ns,
@@ -299,9 +354,10 @@ void ChannelShard::issue_scrub(double now) {
   // retirement copy.
   double extra = 0.0;
   if (out.corrected) extra += timing_.org().t_write_ns;
-  if (out.uncorrectable) {
+  if (out.uncorrectable || out.retired_worn) {
     extra += timing_.org().t_read_ns + timing_.org().t_write_ns;
   }
+  if (out.remapped) extra += timing_.org().t_write_ns;
   if (extra > 0.0) {
     timing_.occupy_bank(channel_, s.where.bank, done, extra);
     ras_->add_busy(extra);
@@ -375,6 +431,16 @@ RasReport collect_ras_report(const std::vector<ChannelShard>& shards) {
                      }
                      return a.channel < b.channel;
                    });
+  bool any_lifetime = false;
+  for (const ChannelShard& shard : shards) {
+    if (shard.lifetime_on()) any_lifetime = true;
+  }
+  if (any_lifetime) {
+    report.lifetime.reserve(shards.size());
+    for (const ChannelShard& shard : shards) {
+      report.lifetime.push_back(shard.lifetime_stats());
+    }
+  }
   return report;
 }
 

@@ -123,6 +123,17 @@ class ChannelShard {
     if (ras_) ras_->poll(now_ns);
   }
 
+  // --- lifetime model (present only when RasConfig::lifetime enables it) ---
+
+  /// Aging active on this shard?
+  [[nodiscard]] bool lifetime_on() const noexcept {
+    return ras_ && ras_->lifetime() != nullptr;
+  }
+  /// This channel's aging counters: the engine's endurance/drift view
+  /// plus the shard's wear-leveling activity (migrations, bank time,
+  /// energy, slot uniformity). Zero-initialized when aging is off.
+  [[nodiscard]] LifetimeStats lifetime_stats() const;
+
  private:
   struct PendingRead {
     u64 ticket = 0;
@@ -166,6 +177,9 @@ class ChannelShard {
   bool issue_write(double now);
   void issue_scrub(double now);
   void maybe_arm_scrub(double now);
+  /// Charges the wear-leveler migration writes `dests` produced by the
+  /// last on_write: bank occupancy, energy, and destination endurance.
+  void charge_wl_migrations(const std::vector<u64>& dests, double now_ns);
   void accept_write(u64 ticket, u64 line_addr, double arrival,
                     double accept_time);
   void push_completion(const MemSysCompletion& completion);
@@ -203,6 +217,14 @@ class ChannelShard {
   std::optional<FaultDomain> ras_;
   std::optional<PendingScrub> scrub_;
   double next_scrub_at_ = 0.0;
+
+  // Wear-leveling translation (RasConfig::lifetime.leveler != kNone):
+  // logical arrivals are translated to physical slots at submit time, and
+  // the leveler advances on this shard's own write arrivals only — a pure
+  // function of the arrival sequence, so serial and sharded runs agree.
+  std::optional<WearLevelTranslator> wl_;
+  double wl_busy_ns_ = 0.0;
+  double wl_energy_pj_ = 0.0;
 };
 
 /// Per-channel RAS stats + the event logs merged in (time, channel)

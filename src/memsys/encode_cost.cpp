@@ -126,12 +126,19 @@ SchemeWriteCost calibrate_write_cost(Scheme scheme,
                                      const std::string& profile_name,
                                      u64 seed, usize sample_lines,
                                      usize writes_per_line) {
+  return calibrate_write_cost(scheme, profile_by_name(profile_name), seed,
+                              sample_lines, writes_per_line);
+}
+
+SchemeWriteCost calibrate_write_cost(Scheme scheme,
+                                     const WorkloadProfile& profile,
+                                     u64 seed, usize sample_lines,
+                                     usize writes_per_line) {
   require(!is_paper_model(scheme),
           "paper-model accounting schemes have no hardware encoder to "
           "calibrate");
   require(sample_lines >= 1 && writes_per_line >= 1,
           "calibration needs at least one line and one write");
-  const WorkloadProfile& profile = profile_by_name(profile_name);
   const EncoderPtr enc = make_encoder(scheme);
 
   SplitMix64 sm{seed};

@@ -28,6 +28,7 @@
 
 #include "core/schemes.hpp"
 #include "nvm/energy_model.hpp"
+#include "trace/profile.hpp"
 
 namespace nvmenc {
 
@@ -79,6 +80,14 @@ struct SchemeWriteCost {
 /// which have no hardware encoder.
 [[nodiscard]] SchemeWriteCost calibrate_write_cost(
     Scheme scheme, const std::string& profile_name, u64 seed,
+    usize sample_lines = 96, usize writes_per_line = 4);
+
+/// Same calibration against an explicit profile object, for callers that
+/// synthesize a value mix instead of naming a SPEC stand-in (e.g. the
+/// lifetime sweep's sequential-flip regime, where the paper's headline
+/// scheme ordering is realized — see bench/ablation_sequential_flips).
+[[nodiscard]] SchemeWriteCost calibrate_write_cost(
+    Scheme scheme, const WorkloadProfile& profile, u64 seed,
     usize sample_lines = 96, usize writes_per_line = 4);
 
 }  // namespace nvmenc

@@ -37,6 +37,7 @@ void RasConfig::validate() const {
   require(remap_drain_ns > 0.0 && remap_penalty_ns >= 0.0,
           "remap drain must be positive and the penalty non-negative");
   require(kill_at_ns >= 0.0, "kill time must be non-negative");
+  lifetime.validate();
 }
 
 const char* ras_event_name(RasEventKind kind) {
@@ -84,6 +85,12 @@ RasStats RasReport::totals() const noexcept {
   return out;
 }
 
+LifetimeStats RasReport::lifetime_totals() const noexcept {
+  LifetimeStats out;
+  for (const LifetimeStats& s : lifetime) out.merge(s);
+  return out;
+}
+
 u64 ras_remap_line(const MemOrg& org, u64 addr,
                    const std::vector<u8>& degraded) noexcept {
   const usize home = channel_of_line(org, addr);
@@ -109,6 +116,9 @@ u64 ras_remap_line(const MemOrg& org, u64 addr,
 FaultDomain::FaultDomain(const RasConfig& config, usize channel)
     : config_{config}, channel_{channel}, injector_{config.inject} {
   config_.validate();
+  if (config_.lifetime.enabled()) {
+    life_.emplace(config_.lifetime, channel);
+  }
   stats_.spares_left = config_.spare_lines;
   events_.reserve(kMaxEventsPerShard);
 }
@@ -186,20 +196,65 @@ FaultDomain::WriteOutcome FaultDomain::on_array_write(u64 line,
     st.stuck = static_cast<u8>(std::min<u32>(st.stuck + 1u, 255u));
     ++stats_.stuck_cells;
   }
+  // Endurance: the write accrues the per-scheme flip cost; the re-pulses
+  // above stress cells too but are already priced in the retry ladder.
+  if (life_) {
+    out.worn =
+        life_
+            ->on_write(line, config_.lifetime.wear_per_write_flips, now_ns)
+            .worn;
+  }
 
-  // Escalation: a ladder that ran dry, or more stuck cells than the
-  // encoder can mask, goes to SAFER re-partition; a line out of SAFER
-  // budget is retired into the spare pool.
-  if (out.exhausted || st.stuck > config_.stuck_cell_budget) {
+  // Escalation: a ladder that ran dry, more stuck cells than the encoder
+  // can mask, or an endurance crossing goes to SAFER re-partition; a line
+  // out of SAFER budget is retired into the spare pool.
+  if (out.exhausted || st.stuck > config_.stuck_cell_budget || out.worn) {
     if (st.remaps < config_.safer_remap_limit) {
       st.remaps = static_cast<u8>(st.remaps + 1);
       ++stats_.safer_remaps;
       out.remapped = true;
       log(now_ns, RasEventKind::kSaferRemap, line);
+      // Re-partitioning spreads the hot positions into fresh cells, so a
+      // worn line buys itself a slice of extra endurance.
+      if (out.worn) life_->relieve(line);
     } else {
       retire(line, st, now_ns);
       out.retired = true;
+      if (out.worn) life_->note_retired();
     }
+  }
+  return out;
+}
+
+FaultDomain::MigrateOutcome FaultDomain::escalate_worn(u64 line,
+                                                       LineState& st,
+                                                       double now_ns) {
+  MigrateOutcome out;
+  if (st.remaps < config_.safer_remap_limit) {
+    st.remaps = static_cast<u8>(st.remaps + 1);
+    ++stats_.safer_remaps;
+    out.remapped = true;
+    log(now_ns, RasEventKind::kSaferRemap, line);
+    life_->relieve(line);
+  } else {
+    retire(line, st, now_ns);
+    out.retired = true;
+    life_->note_retired();
+  }
+  return out;
+}
+
+FaultDomain::MigrateOutcome FaultDomain::on_migration_write(u64 line,
+                                                            double now_ns) {
+  MigrateOutcome out;
+  if (!life_) return out;
+  LineState& st = touch(line);
+  if (st.retired) {
+    ++stats_.spare_writes;
+    return out;
+  }
+  if (life_->on_write(line, kMigrationWearFlips, now_ns).worn) {
+    out = escalate_worn(line, st, now_ns);
   }
   return out;
 }
@@ -213,10 +268,14 @@ FaultDomain::ReadOutcome FaultDomain::on_demand_read(u64 line,
   if (st.retired) return out;  // spares read cleanly
   Xoshiro256 rng =
       injector_.event_rng(line, seq, ras_salt(channel_, kSaltRead));
-  if (!rng.next_bool(config_.inject.read_disturb_rate)) return out;
+  u32 hits = rng.next_bool(config_.inject.read_disturb_rate) ? 1u : 0u;
+  // Retention drift reads back as a disturb-equivalent error: the cell
+  // relaxed since the last write, SECDED sees a flipped bit.
+  if (life_ && life_->drift_on_read(line, now_ns)) ++hits;
+  if (hits == 0) return out;
   out.disturbed = true;
-  ++stats_.read_disturbs;
-  st.disturbs = static_cast<u8>(std::min<u32>(st.disturbs + 1u, 255u));
+  stats_.read_disturbs += hits;
+  st.disturbs = static_cast<u8>(std::min<u32>(st.disturbs + hits, 255u));
   if (st.disturbs >= 2) {
     // SECDED(72,64) corrects one error; two accumulated disturbs are
     // detected but uncorrectable. Recover from the spare pool.
@@ -239,13 +298,14 @@ FaultDomain::ScrubOutcome FaultDomain::on_scrub_read(u64 line,
   const u64 seq = st.read_seq++;
   if (st.retired) return out;
   // A scrub read is still an array read: it can disturb the line it is
-  // trying to clean (same keyed draw stream as demand reads).
+  // trying to clean (same keyed draw stream as demand reads), and it sees
+  // retention drift exactly like a demand read does.
   Xoshiro256 rng =
       injector_.event_rng(line, seq, ras_salt(channel_, kSaltRead));
-  if (rng.next_bool(config_.inject.read_disturb_rate)) {
-    ++stats_.read_disturbs;
-    st.disturbs = static_cast<u8>(std::min<u32>(st.disturbs + 1u, 255u));
-  }
+  u32 hits = rng.next_bool(config_.inject.read_disturb_rate) ? 1u : 0u;
+  if (life_ && life_->drift_on_read(line, now_ns)) ++hits;
+  stats_.read_disturbs += hits;
+  st.disturbs = static_cast<u8>(std::min<u32>(st.disturbs + hits, 255u));
   if (st.disturbs >= 2) {
     out.uncorrectable = true;
     ++stats_.ue_scrub;
@@ -260,6 +320,19 @@ FaultDomain::ScrubOutcome FaultDomain::on_scrub_read(u64 line,
     st.disturbs = 0;
     ++stats_.scrub_corrections;
     out.corrected = true;
+    if (life_) {
+      // The write-back restarts the drift clock (on_write stamps the
+      // line) but is itself an array write: it wears the line, and a
+      // crossing escalates right here.
+      if (life_
+              ->on_write(line, config_.lifetime.wear_per_write_flips,
+                         now_ns)
+              .worn) {
+        const MigrateOutcome esc = escalate_worn(line, st, now_ns);
+        out.remapped = esc.remapped;
+        out.retired_worn = esc.retired;
+      }
+    }
   }
   return out;
 }

@@ -30,6 +30,7 @@
 
 #include "common/types.hpp"
 #include "fault/fault_injector.hpp"
+#include "memsys/lifetime.hpp"
 #include "nvm/timing.hpp"
 
 namespace nvmenc {
@@ -67,11 +68,15 @@ struct RasConfig {
   /// time. -1 = no scripted kill.
   int kill_channel = -1;
   double kill_at_ns = 0.0;
+  /// Aging: per-line endurance, retention drift, wear leveling
+  /// (memsys/lifetime.hpp). Endurance exhaustion escalates through the
+  /// same SAFER -> retire -> degrade ladder as the fault stream.
+  LifetimeConfig lifetime;
 
   /// RAS machinery active? Off (the default) keeps the fault-free
   /// scheduler path byte-identical, statistics included.
   [[nodiscard]] bool enabled() const noexcept {
-    return inject.any() || kill_channel >= 0;
+    return inject.any() || kill_channel >= 0 || lifetime.enabled();
   }
 
   void validate() const;
@@ -138,9 +143,16 @@ struct RasReport {
   std::vector<RasStats> channels;  ///< index == channel id
   std::vector<RasEvent> events;    ///< merged in channel-id order
   u64 events_dropped = 0;          ///< overflow beyond the per-shard cap
+  /// Channel-indexed aging view; empty when the run had no lifetime
+  /// model, so pre-aging reports render unchanged.
+  std::vector<LifetimeStats> lifetime;
 
   [[nodiscard]] bool any() const noexcept { return !channels.empty(); }
   [[nodiscard]] RasStats totals() const noexcept;
+  [[nodiscard]] bool lifetime_any() const noexcept {
+    return !lifetime.empty();
+  }
+  [[nodiscard]] LifetimeStats lifetime_totals() const noexcept;
 
   [[nodiscard]] bool operator==(const RasReport&) const = default;
 };
@@ -170,8 +182,19 @@ class FaultDomain {
     bool remapped = false;  ///< SAFER re-partition rewrote the line
     bool retired = false;   ///< line moved to a spare this write
     bool spare = false;     ///< served by an already-retired line's spare
+    bool worn = false;      ///< this write crossed the endurance limit
   };
   WriteOutcome on_array_write(u64 line, double now_ns);
+
+  /// One wear-leveling migration write landing on physical `line`: no
+  /// fault draws (migrations copy verified images), but the destination
+  /// pays endurance wear and a worn destination escalates through the
+  /// ladder like any other crossing.
+  struct MigrateOutcome {
+    bool remapped = false;  ///< worn destination absorbed by SAFER
+    bool retired = false;   ///< worn destination retired to a spare
+  };
+  MigrateOutcome on_migration_write(u64 line, double now_ns);
 
   struct ReadOutcome {
     bool disturbed = false;
@@ -184,6 +207,8 @@ class FaultDomain {
   struct ScrubOutcome {
     bool corrected = false;      ///< clean image written back
     bool uncorrectable = false;  ///< SECDED double fault: line retired
+    bool remapped = false;       ///< write-back wore the line: SAFER
+    bool retired_worn = false;   ///< write-back wore the line: retired
   };
   ScrubOutcome on_scrub_read(u64 line, double now_ns);
 
@@ -215,6 +240,16 @@ class FaultDomain {
   [[nodiscard]] u64 events_dropped() const noexcept { return dropped_; }
   [[nodiscard]] const RasConfig& config() const noexcept { return config_; }
 
+  /// Aging engine, or nullptr when the lifetime model is off.
+  [[nodiscard]] const LifetimeEngine* lifetime() const noexcept {
+    return life_ ? &*life_ : nullptr;
+  }
+  /// Lines this channel has ever served (retired ones included) — the
+  /// denominator of the survivor-capacity metric.
+  [[nodiscard]] usize lines_touched() const noexcept {
+    return lines_.size();
+  }
+
  private:
   struct LineState {
     u32 write_seq = 0;   ///< per-line write event counter (draw key)
@@ -232,10 +267,14 @@ class FaultDomain {
   void retire(u64 line, LineState& st, double now_ns);
   void trip(double now_ns, RasEventKind why);
   void log(double now_ns, RasEventKind kind, u64 line);
+  /// Sends an endurance crossing through the SAFER -> retire ladder.
+  /// Returns {remapped, retired}.
+  MigrateOutcome escalate_worn(u64 line, LineState& st, double now_ns);
 
   RasConfig config_;
   usize channel_;
   FaultInjector injector_;  ///< the seeded draw cascade (and its config)
+  std::optional<LifetimeEngine> life_;  ///< aging (lifetime.enabled() only)
   std::unordered_map<u64, LineState> lines_;
   std::vector<u64> touched_;  ///< first-touch order: the scrub scan list
   usize scrub_cursor_ = 0;

@@ -117,6 +117,73 @@ TextTable ras_events_table(const RasReport& report) {
   return table;
 }
 
+TextTable lifetime_table(const RasReport& report) {
+  TextTable table{{"channel", "lines", "wear wr", "flips", "max wear",
+                   "worn", "safer", "retired", "drift", "wl wr", "wl mv",
+                   "wl busy ms", "wl pJ", "unif", "1st wearout ms"}};
+  auto add = [&](const std::string& label, const LifetimeStats& s) {
+    table.add_row(
+        {label, std::to_string(s.lines_tracked),
+         std::to_string(s.wear_writes), TextTable::fmt(s.wear_flips, 0),
+         TextTable::fmt(s.max_wear_frac, 4), std::to_string(s.worn_lines),
+         std::to_string(s.wear_safer), std::to_string(s.wear_retired),
+         std::to_string(s.drift_errors), std::to_string(s.wl_writes),
+         std::to_string(s.wl_moves), TextTable::fmt(s.wl_busy_ns / 1e6, 3),
+         TextTable::fmt(s.wl_energy_pj, 0),
+         TextTable::fmt(s.wl_uniformity, 3),
+         s.first_wearout_ns > 0.0
+             ? TextTable::fmt(s.first_wearout_ns / 1e6, 3)
+             : "-"});
+  };
+  for (usize c = 0; c < report.lifetime.size(); ++c) {
+    add(std::to_string(c), report.lifetime[c]);
+  }
+  add("all", report.lifetime_totals());
+  return table;
+}
+
+TextTable aging_table(const AgingConfig& aging, const AgingResult& result) {
+  TextTable table{{"metric", "value"}};
+  table.add_row({"until", aging_until_name(aging.until)});
+  table.add_row({"stopped by", aging_stop_name(result.stop)});
+  table.add_row({"passes", std::to_string(result.passes)});
+  table.add_row({"accesses", std::to_string(result.accesses)});
+  table.add_row({"array writes", std::to_string(result.total_array_writes)});
+  // The greppable failure markers (CI smokes assert on "first retirement").
+  table.add_row(
+      {"first retirement",
+       result.writes_to_first_retirement > 0
+           ? std::to_string(result.writes_to_first_retirement) +
+                 " writes @ " +
+                 TextTable::fmt(result.first_retirement_ns / 1e6, 3) + " ms"
+           : "never"});
+  table.add_row(
+      {"first channel trip",
+       result.writes_to_first_trip > 0
+           ? std::to_string(result.writes_to_first_trip) + " writes @ " +
+                 TextTable::fmt(result.first_trip_ns / 1e6, 3) + " ms"
+           : "never"});
+  table.add_row(
+      {"survivor capacity",
+       TextTable::fmt(
+           result.curve.empty() ? 1.0 : result.curve.back().capacity, 4)});
+  table.add_row({"makespan (ms)",
+                 TextTable::fmt(result.makespan_ns / 1e6, 3)});
+  return table;
+}
+
+TextTable capacity_curve_table(const AgingResult& result) {
+  TextTable table{{"time (ms)", "array writes", "retired", "degraded",
+                   "capacity"}};
+  for (const CapacityPoint& p : result.curve) {
+    table.add_row({TextTable::fmt(p.time_ns / 1e6, 3),
+                   std::to_string(p.array_writes), std::to_string(p.retired),
+                   std::to_string(p.degraded),
+                   TextTable::fmt(p.capacity, 4)});
+  }
+  return table;
+}
+
 TextTable load_table(const std::string& scheme,
                      const std::string& encode_model,
                      double encode_latency_ns, const LoadGenConfig& load,

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "memsys/aging.hpp"
 #include "memsys/loadgen.hpp"
 #include "memsys/trace_replay.hpp"
 
@@ -44,5 +45,19 @@ namespace nvmenc {
 /// degradations) in (time, channel) order, with a trailing overflow row
 /// when per-shard logs dropped events.
 [[nodiscard]] TextTable ras_events_table(const RasReport& report);
+
+/// Per-channel lifetime-engine view (endurance wear, drift, wear-leveling
+/// activity), one row per channel plus a totals row. Render only when
+/// report.lifetime_any(); runs without the aging model print no lifetime
+/// table, keeping their output byte-identical to earlier revisions.
+[[nodiscard]] TextTable lifetime_table(const RasReport& report);
+
+/// Run-to-failure summary (metric/value rows). The "first retirement" row
+/// is the greppable failure marker CI smokes assert on.
+[[nodiscard]] TextTable aging_table(const AgingConfig& aging,
+                                    const AgingResult& result);
+
+/// The survivor-capacity curve, one row per recorded point.
+[[nodiscard]] TextTable capacity_curve_table(const AgingResult& result);
 
 }  // namespace nvmenc

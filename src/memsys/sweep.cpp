@@ -110,13 +110,15 @@ double pct_delta(double value, double baseline) {
 }  // namespace
 
 void write_sweep_json(const std::string& path, const SweepConfig& config,
-                      const std::vector<SweepCell>& cells) {
+                      const std::vector<SweepCell>& cells,
+                      const std::string& provenance) {
   require(!cells.empty(), "nothing to serialize");
   std::ofstream os{path};
   if (!os) throw std::runtime_error{"cannot write " + path};
 
   os << "{\n";
   os << "  \"bench\": \"memsys_latency\",\n";
+  os << provenance;
   os << "  \"config\": {\n";
   os << "    \"pattern\": \"" << load_pattern_name(config.load.pattern)
      << "\",\n";

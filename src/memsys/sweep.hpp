@@ -63,8 +63,12 @@ struct SweepCell {
 
 /// Serializes the sweep to JSON, including a trade-off block comparing each
 /// scheme's saturation-point p99 and write energy against the first
-/// (baseline) scheme. Throws std::runtime_error when unwritable.
+/// (baseline) scheme. `provenance` is raw JSON emitted right after the
+/// "bench" key (bench/provenance.hpp builds it; the library stays free of
+/// build-stamp compile definitions) — empty omits the block. Throws
+/// std::runtime_error when unwritable.
 void write_sweep_json(const std::string& path, const SweepConfig& config,
-                      const std::vector<SweepCell>& cells);
+                      const std::vector<SweepCell>& cells,
+                      const std::string& provenance = {});
 
 }  // namespace nvmenc

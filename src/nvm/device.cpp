@@ -11,12 +11,25 @@ NvmDevice::NvmDevice(NvmDeviceConfig config, Initializer initializer)
   require(static_cast<bool>(initializer_), "device needs an initializer");
 }
 
+namespace {
+
+/// The API convention: line-aligned byte addresses, never line indexes.
+/// A line index passed here would collapse `addr / kLineBytes` to (almost
+/// always) 0 and silently sample nothing but line 0's neighborhood.
+void require_line_aligned(u64 line_addr) {
+  require(line_addr % kLineBytes == 0,
+          "NvmDevice takes line-aligned byte addresses, not line indexes");
+}
+
+}  // namespace
+
 bool NvmDevice::sampled(u64 line_addr) const noexcept {
   return config_.bit_wear_sample != 0 &&
          (line_addr / kLineBytes) % config_.bit_wear_sample == 0;
 }
 
 NvmDevice::LineState& NvmDevice::state(u64 line_addr) {
+  require_line_aligned(line_addr);
   auto it = lines_.find(line_addr);
   if (it == lines_.end()) {
     LineState fresh;
@@ -193,11 +206,13 @@ std::vector<u64> NvmDevice::line_addrs() const {
 }
 
 const LineWear* NvmDevice::wear(u64 line_addr) const {
+  require_line_aligned(line_addr);
   const auto it = lines_.find(line_addr);
   return it == lines_.end() ? nullptr : &it->second.wear;
 }
 
-const std::vector<u32>* NvmDevice::bit_wear(u64 line_addr) const {
+const std::vector<u64>* NvmDevice::bit_wear(u64 line_addr) const {
+  require_line_aligned(line_addr);
   const auto it = lines_.find(line_addr);
   if (it == lines_.end() || it->second.bit_wear.empty()) return nullptr;
   return &it->second.bit_wear;

@@ -42,7 +42,9 @@ struct NvmDeviceConfig {
   PowerFailurePlan* power = nullptr;
 };
 
-/// Per-line wear summary.
+/// Per-line wear summary. 64-bit on purpose: accelerated-aging sweeps
+/// push individual lines past 2^32 flips, where a u32 would wrap and
+/// report a freshly-young line.
 struct LineWear {
   u64 flips = 0;   ///< total cell flips in this line (data + metadata)
   u64 writes = 0;  ///< write-backs that touched this line
@@ -55,6 +57,11 @@ class NvmDevice {
   /// `initializer` materializes the pristine stored image of a line on
   /// first access (the simulator wires this to the workload's initial
   /// image passed through the encoder).
+  ///
+  /// Addressing convention: every `line_addr` in this API is a
+  /// line-aligned BYTE address (a multiple of kLineBytes), never a line
+  /// index — enforced with a throw, because an index silently lands on
+  /// line 0's neighborhood and defeats the bit-wear sampling stride.
   NvmDevice(NvmDeviceConfig config, Initializer initializer);
 
   /// Current stored image (creating the line if pristine). When a fault
@@ -76,7 +83,8 @@ class NvmDevice {
 
   [[nodiscard]] const LineWear* wear(u64 line_addr) const;
   /// Per-bit wear map of a sampled line; nullptr when not sampled.
-  [[nodiscard]] const std::vector<u32>* bit_wear(u64 line_addr) const;
+  /// 64-bit counters: run-to-failure sweeps overflow u32 per-cell.
+  [[nodiscard]] const std::vector<u64>* bit_wear(u64 line_addr) const;
 
   /// Lines with at least one stuck cell.
   [[nodiscard]] u64 failed_lines() const noexcept { return failed_lines_; }
@@ -99,7 +107,7 @@ class NvmDevice {
     LineWear wear;
     /// Stuck data-cell positions (sorted); empty for healthy lines.
     std::vector<usize> stuck_bits;
-    std::vector<u32> bit_wear;  ///< per data+meta bit; empty if unsampled
+    std::vector<u64> bit_wear;  ///< per data+meta bit; empty if unsampled
     u64 reads = 0;              ///< load events (fault-injection sequence)
   };
 

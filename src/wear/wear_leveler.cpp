@@ -72,6 +72,7 @@ void StartGapLeveler::move_gap() {
   const usize src = (gap_ + capacity_) % (capacity_ + 1);  // gap - 1 mod N+1
   wear_[gap_] += move_cost_;
   ++extra_writes_;
+  pending_moves_.push_back(gap_);
   gap_ = src;
   if (gap_ == capacity_) {
     // One full rotation of the gap advances Start (Qureshi et al., Fig. 5).
@@ -85,6 +86,11 @@ void StartGapLeveler::on_write(u64 line_addr, usize flips) {
     writes_since_move_ = 0;
     move_gap();
   }
+}
+
+void StartGapLeveler::drain_migrations(std::vector<usize>& out) {
+  out.insert(out.end(), pending_moves_.begin(), pending_moves_.end());
+  pending_moves_.clear();
 }
 
 // ---------------------------------------------------- Security Refresh --
@@ -139,12 +145,19 @@ void SecurityRefreshLeveler::migrate_step() {
     // pair is degenerate, i.e. the keys agree on this index).
     wear_[sweep_ ^ next_key_] += move_cost_;
     ++extra_writes_;
+    pending_moves_.push_back(sweep_ ^ next_key_);
     if (partner != sweep_) {
       wear_[partner ^ next_key_] += move_cost_;
       ++extra_writes_;
+      pending_moves_.push_back(partner ^ next_key_);
     }
   }
   ++sweep_;
+}
+
+void SecurityRefreshLeveler::drain_migrations(std::vector<usize>& out) {
+  out.insert(out.end(), pending_moves_.begin(), pending_moves_.end());
+  pending_moves_.clear();
 }
 
 void SecurityRefreshLeveler::on_write(u64 line_addr, usize flips) {

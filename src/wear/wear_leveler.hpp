@@ -37,6 +37,12 @@ class WearLeveler {
   /// Writes issued by the leveler itself (line migrations).
   [[nodiscard]] virtual u64 extra_writes() const = 0;
 
+  /// Appends the physical slots written by migrations since the last
+  /// call, then forgets them. Levelers that never migrate append nothing.
+  /// Lets a timing simulation charge each migration write to bank time,
+  /// energy, and endurance as it happens (memsys/lifetime.hpp).
+  virtual void drain_migrations(std::vector<usize>& out) { (void)out; }
+
   struct Report {
     double mean_wear = 0.0;
     double max_wear = 0.0;
@@ -82,6 +88,7 @@ class StartGapLeveler final : public WearLeveler {
     return wear_;
   }
   [[nodiscard]] u64 extra_writes() const override { return extra_writes_; }
+  void drain_migrations(std::vector<usize>& out) override;
 
   [[nodiscard]] usize gap() const noexcept { return gap_; }
   [[nodiscard]] usize start() const noexcept { return start_; }
@@ -96,6 +103,7 @@ class StartGapLeveler final : public WearLeveler {
   usize start_ = 0;
   u64 writes_since_move_ = 0;
   u64 extra_writes_ = 0;
+  std::vector<usize> pending_moves_;  // migration dests since last drain
   std::vector<u64> wear_;  // capacity + 1 slots
 };
 
@@ -117,6 +125,7 @@ class SecurityRefreshLeveler final : public WearLeveler {
     return wear_;
   }
   [[nodiscard]] u64 extra_writes() const override { return extra_writes_; }
+  void drain_migrations(std::vector<usize>& out) override;
 
  private:
   void migrate_step();
@@ -132,6 +141,7 @@ class SecurityRefreshLeveler final : public WearLeveler {
   u64 writes_since_step_ = 0;
   u64 extra_writes_ = 0;
   u64 rng_state_;
+  std::vector<usize> pending_moves_;  // migration dests since last drain
   std::vector<u64> wear_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <type_traits>
+
 #include "common/rng.hpp"
 #include "encoding/dcw.hpp"
 
@@ -61,7 +63,7 @@ TEST(Device, BitWearSampling) {
   dev.store(kLineBytes, image, 2); // line index 1: not sampled
   ASSERT_NE(dev.bit_wear(0), nullptr);
   EXPECT_EQ(dev.bit_wear(kLineBytes), nullptr);
-  const std::vector<u32>& wear = *dev.bit_wear(0);
+  const std::vector<u64>& wear = *dev.bit_wear(0);
   EXPECT_EQ(wear[0], 1u);
   EXPECT_EQ(wear[1], 0u);
   EXPECT_EQ(wear[2], 1u);
@@ -79,7 +81,7 @@ TEST(Device, BitWearTracksMetaRegion) {
   image.meta = BitBuf{8};
   image.meta.set_bit(3, true);
   dev.store(0, image, 1);
-  const std::vector<u32>& wear = *dev.bit_wear(0);
+  const std::vector<u64>& wear = *dev.bit_wear(0);
   ASSERT_EQ(wear.size(), kLineBits + 8);
   EXPECT_EQ(wear[kLineBits + 3], 1u);
 }
@@ -118,6 +120,49 @@ TEST(Device, EnduranceFailureSticksCells) {
   // The cell is now stuck at its last value (1).
   dev.store(0, b, 1);
   EXPECT_EQ(dev.load(0).data.word(0), 1u);
+}
+
+TEST(Device, WearCountersSurviveU32Overflow) {
+  // Aging-scale regression: accumulated flips past 2^32 must not wrap.
+  // (A u32 counter would report 1'705'032'704 here.)
+  static_assert(std::is_same_v<decltype(LineWear{}.flips), u64>);
+  static_assert(std::is_same_v<decltype(LineWear{}.writes), u64>);
+  NvmDevice dev{NvmDeviceConfig{}, zero_init()};
+  StoredLine image;
+  image.meta = BitBuf{0};
+  const usize big = usize{3'000'000'000};
+  dev.store(0x40, image, big);
+  dev.store(0x40, image, big);
+  EXPECT_EQ(dev.wear(0x40)->flips, u64{6'000'000'000});
+  EXPECT_EQ(dev.total_flips(), u64{6'000'000'000});
+}
+
+TEST(Device, BitWearCountersAreU64) {
+  NvmDeviceConfig config;
+  config.bit_wear_sample = 1;
+  NvmDevice dev{config, zero_init()};
+  StoredLine image;
+  image.meta = BitBuf{0};
+  image.data.set_word(0, 1);
+  dev.store(0, image, 1);
+  static_assert(
+      std::is_same_v<decltype(*dev.bit_wear(0)), const std::vector<u64>&>);
+  EXPECT_EQ((*dev.bit_wear(0))[0], 1u);
+}
+
+TEST(Device, RejectsUnalignedAddresses) {
+  // Line-index callers (addr 1, 2, ...) used to land inside line 0's
+  // neighborhood and defeat the bit-wear sampling stride; the convention
+  // is line-aligned byte addresses, enforced loudly.
+  NvmDevice dev{NvmDeviceConfig{}, zero_init()};
+  StoredLine image;
+  image.meta = BitBuf{0};
+  EXPECT_THROW(dev.load(1), std::invalid_argument);
+  EXPECT_THROW(dev.store(kLineBytes + 7, image, 0), std::invalid_argument);
+  EXPECT_THROW(dev.wear(3), std::invalid_argument);
+  EXPECT_THROW(dev.bit_wear(5), std::invalid_argument);
+  EXPECT_NO_THROW(dev.load(0));
+  EXPECT_NO_THROW(dev.load(kLineBytes));
 }
 
 TEST(Device, StuckBitCountsLineOnce) {

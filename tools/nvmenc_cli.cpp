@@ -105,6 +105,21 @@ struct Args {
   usize spare_lines = 64;
   int kill_channel = -1;
   double kill_at_ns = 0.0;
+  // Lifetime / aging knobs (replay --memsys, loadgen).
+  double endurance = 0.0;         // median per-line endurance (flips)
+  double endurance_sigma = 0.25;  // lognormal process-variation sigma
+  double age_multiplier = 1.0;
+  double retention_tau_ns = 0.0;
+  double wear_per_write = 0.0;  // 0 = calibrate from the scheme's encoder
+  std::string wear_leveler = "none";
+  usize wl_interval = 128;
+  usize wl_region = 1024;
+  u64 lifetime_seed = 0x11fe;
+  // Run-to-failure (accelerated aging) knobs.
+  bool run_to_failure = false;
+  u64 max_passes = 1'000;
+  double capacity_floor = 0.5;
+  std::string until = "retirement";
   // Option names actually given on the command line, for cross-flag
   // validation (a flag in the wrong mode is as fatal as an unknown one).
   std::vector<std::string> seen;
@@ -163,6 +178,23 @@ void handle_stop_signal(int) { g_cancel.request_stop(); }
       "          write path with program-and-verify, background scrub,\n"
       "          and graceful channel degradation; serial and sharded\n"
       "          runs stay bit-identical at any --jobs)\n"
+      "          lifetime (replay --memsys and loadgen):\n"
+      "          [--endurance=FLIPS] [--endurance-sigma=S]\n"
+      "          [--age-multiplier=X] [--retention-tau=NS]\n"
+      "          [--wear-per-write=FLIPS] [--lifetime-seed=S]\n"
+      "          [--wear-leveler=none|start-gap|security-refresh]\n"
+      "          [--wl-interval=N] [--wl-region=LINES]  (per-line\n"
+      "          endurance limits drawn lognormally, keyed (seed,\n"
+      "          channel, line); wear accrues per array write at the\n"
+      "          scheme's calibrated flip count unless --wear-per-write\n"
+      "          overrides it; retention drift makes reads error with\n"
+      "          p = 1-exp(-age/tau); worn lines escalate through\n"
+      "          SAFER -> spare retirement -> channel degradation)\n"
+      "          run-to-failure: [--run-to-failure] [--max-passes=N]\n"
+      "          [--capacity-floor=F] [--until=retirement|trip|floor]\n"
+      "          (loops the workload, serially, until the failure\n"
+      "          condition; prints the aging summary, the survivor-\n"
+      "          capacity curve, and the lifetime table)\n"
       "  perf:   --benchmark=NAME [--accesses=N] [--encode-ns=X] "
       "[--sched]\n"
       "  loadgen: --scheme=NAME [--pattern=uniform|zipfian|diurnal]\n"
@@ -246,6 +278,27 @@ Args parse(int argc, char** argv) {
       args.kill_channel = std::stoi(*vv);
     else if (auto vw = value("kill-at-ns"))
       args.kill_at_ns = std::stod(*vw);
+    else if (auto w1 = value("endurance")) args.endurance = std::stod(*w1);
+    else if (auto w2 = value("endurance-sigma"))
+      args.endurance_sigma = std::stod(*w2);
+    else if (auto w3 = value("age-multiplier"))
+      args.age_multiplier = std::stod(*w3);
+    else if (auto w4 = value("retention-tau"))
+      args.retention_tau_ns = std::stod(*w4);
+    else if (auto w5 = value("wear-per-write"))
+      args.wear_per_write = std::stod(*w5);
+    else if (auto w6 = value("wear-leveler")) args.wear_leveler = *w6;
+    else if (auto w7 = value("wl-interval"))
+      args.wl_interval = std::stoull(*w7);
+    else if (auto w8 = value("wl-region")) args.wl_region = std::stoull(*w8);
+    else if (auto w9 = value("lifetime-seed"))
+      args.lifetime_seed = std::stoull(*w9);
+    else if (auto wa = value("max-passes"))
+      args.max_passes = std::stoull(*wa);
+    else if (auto wb = value("capacity-floor"))
+      args.capacity_floor = std::stod(*wb);
+    else if (auto wc = value("until")) args.until = *wc;
+    else if (flag("run-to-failure")) args.run_to_failure = true;
     else if (flag("sharded")) args.sharded = true;
     else if (flag("memsys")) args.memsys = true;
     else if (flag("protect-meta")) args.protect_meta = true;
@@ -298,16 +351,65 @@ void check_flag_combos(const Args& args) {
   const bool fault_source = args.saw("fault-rate") ||
                             args.saw("read-disturb") ||
                             args.saw("stuck-rate");
-  if (!fault_source) {
+  // Retention drift is also a scrub target: scrub corrections reset the
+  // drift clock, so --scrub-interval + --retention-tau is the lifetime
+  // layer's drift-vs-bandwidth trade-off with no RAS fault source at all.
+  if (!fault_source && !args.saw("retention-tau")) {
     reject("scrub-interval", "scrubs nothing without --fault-rate, "
-                             "--read-disturb, or --stuck-rate");
+                             "--read-disturb, --stuck-rate, or "
+                             "--retention-tau");
   }
-  if (!fault_source && !args.saw("kill-channel")) {
-    reject("degrade-threshold", "needs a fault source or --kill-channel");
-    reject("spare-lines", "needs a fault source or --kill-channel");
+  // Worn-out and drift-retired lines consume spares and count toward the
+  // degrade threshold just like media faults do.
+  if (!fault_source && !args.saw("kill-channel") && !args.saw("endurance") &&
+      !args.saw("retention-tau")) {
+    reject("degrade-threshold",
+           "needs a fault source, aging, or --kill-channel");
+    reject("spare-lines", "needs a fault source, aging, or --kill-channel");
   }
   if (!args.saw("kill-channel")) {
     reject("kill-at-ns", "needs --kill-channel");
+  }
+  if (!ras_capable) {
+    for (const char* name :
+         {"endurance", "endurance-sigma", "age-multiplier", "retention-tau",
+          "wear-per-write", "wear-leveler", "wl-interval", "wl-region",
+          "lifetime-seed", "run-to-failure", "max-passes", "capacity-floor",
+          "until"}) {
+      reject(name, "needs the memory system (replay --memsys or loadgen)");
+    }
+  }
+  if (!args.saw("endurance")) {
+    reject("endurance-sigma", "shapes the --endurance distribution");
+    reject("wear-per-write", "accrues against --endurance limits");
+  }
+  if (!args.saw("endurance") && !args.saw("retention-tau")) {
+    reject("age-multiplier",
+           "accelerates --endurance wear or --retention-tau drift");
+  }
+  if (!args.saw("wear-leveler")) {
+    reject("wl-interval", "paces the --wear-leveler");
+    reject("wl-region", "sizes the --wear-leveler regions");
+  }
+  if (!args.run_to_failure) {
+    for (const char* name : {"max-passes", "capacity-floor", "until"}) {
+      reject(name, "controls --run-to-failure");
+    }
+  } else {
+    // One long causal chain: traffic after a retirement depends on the
+    // retirement, so there is no parallel epoch schedule to match.
+    reject("jobs", "is meaningless under --run-to-failure (serial loop)");
+    reject("sharded", "is meaningless under --run-to-failure (serial loop)");
+    reject("schemes",
+           "sweeps replay cells; run-to-failure takes one --scheme");
+  }
+  if (args.saw("schemes")) {
+    for (const char* name :
+         {"endurance", "endurance-sigma", "age-multiplier", "retention-tau",
+          "wear-per-write", "wear-leveler", "wl-interval", "wl-region",
+          "lifetime-seed"}) {
+      reject(name, "applies to a single-scheme run, not a --schemes sweep");
+    }
   }
 }
 
@@ -327,12 +429,62 @@ RasConfig ras_from_args(const Args& args) {
   return ras;
 }
 
+/// The lifetime-model configuration carried by the aging flags. The
+/// per-write wear cost defaults to the scheme's *calibrated* flip count
+/// (the real encoder replayed over the benchmark's value mix), so flip
+/// savings translate into longer life without any hand-tuned constant;
+/// --wear-per-write overrides it (e.g. 512 models a raw, non-differential
+/// write path).
+LifetimeConfig lifetime_from_args(const Args& args, Scheme scheme) {
+  LifetimeConfig life;
+  life.endurance_mean_flips = args.endurance;
+  life.endurance_sigma = args.endurance_sigma;
+  life.age_multiplier = args.age_multiplier;
+  life.retention_tau_ns = args.retention_tau_ns;
+  life.leveler = wear_leveler_by_name(args.wear_leveler);
+  life.wl_interval = args.wl_interval;
+  life.wl_region_lines = args.wl_region;
+  life.seed = args.lifetime_seed;
+  if (args.wear_per_write > 0.0) {
+    life.wear_per_write_flips = args.wear_per_write;
+  } else if (life.endurance_mean_flips > 0.0) {
+    const SchemeWriteCost cost =
+        calibrate_write_cost(scheme, args.benchmark, args.seed);
+    life.wear_per_write_flips = cost.avg_sets + cost.avg_resets;
+  }
+  return life;
+}
+
+/// The run-to-failure loop configuration (reuses the replay arrival and
+/// epoch spacing; the aging default control interval is finer than the
+/// replay default, so only an explicit --epoch-accesses overrides it).
+AgingConfig aging_from_args(const Args& args) {
+  AgingConfig aging;
+  aging.inter_arrival_ns = args.inter_arrival_ns;
+  if (args.saw("epoch-accesses")) aging.epoch_accesses = args.epoch_accesses;
+  aging.max_passes = args.max_passes;
+  aging.capacity_floor = args.capacity_floor;
+  aging.until = aging_until_by_name(args.until);
+  return aging;
+}
+
+/// Run-to-failure output shared by the replay and loadgen front-ends.
+void print_aging(const AgingConfig& aging, const AgingResult& result) {
+  aging_table(aging, result).print(std::cout);
+  std::cout << "\nsurvivor capacity curve:\n";
+  capacity_curve_table(result).print(std::cout);
+}
+
 /// RAS tables, printed only when the run had a RAS layer — fault-free
 /// output stays byte-identical to earlier revisions.
 void print_ras(const RasReport& ras) {
   if (!ras.any()) return;
   std::cout << "\nRAS (per channel):\n";
   ras_table(ras).print(std::cout);
+  if (ras.lifetime_any()) {
+    std::cout << "\nlifetime (per channel):\n";
+    lifetime_table(ras).print(std::cout);
+  }
   if (!ras.events.empty() || ras.events_dropped > 0) {
     std::cout << "\nRAS events:\n";
     ras_events_table(ras).print(std::cout);
@@ -599,8 +751,25 @@ int cmd_replay_memsys(const Args& args) {
     return 0;
   }
 
-  mem.org.encode_latency_ns =
-      encode_latency_ns(scheme_by_name(args.scheme), model);
+  const Scheme scheme = scheme_by_name(args.scheme);
+  mem.org.encode_latency_ns = encode_latency_ns(scheme, model);
+  mem.ras.lifetime = lifetime_from_args(args, scheme);
+
+  if (args.run_to_failure) {
+    // Accelerated aging: loop the trace until the failure condition. The
+    // loop is serial (one long causal chain), so the whole trace is
+    // materialized rather than mmap'd — run-to-failure geometries are
+    // small by design.
+    const std::vector<MemAccess> accesses = args.format == "text"
+                                                ? read_text_trace(args.in)
+                                                : read_trace(args.in);
+    const AgingConfig aging = aging_from_args(args);
+    const AgingResult r = run_to_failure(accesses, aging, mem);
+    print_aging(aging, r);
+    print_ras(r.ras);
+    return 0;
+  }
+
   ProgressReporter progress{&std::cerr};
   replay.progress = &progress;
   // Multi-channel single replay parallelizes over channel shards; the
@@ -710,6 +879,15 @@ int cmd_loadgen(const Args& args) {
   mem.org.channels = args.channels;
   mem.org.encode_latency_ns = encode_latency_ns(scheme, model);
   mem.ras = ras_from_args(args);
+  mem.ras.lifetime = lifetime_from_args(args, scheme);
+
+  if (args.run_to_failure) {
+    const AgingConfig aging = aging_from_args(args);
+    const AgingResult r = run_to_failure(load, aging, mem);
+    print_aging(aging, r);
+    print_ras(r.ras);
+    return 0;
+  }
 
   // --sharded pins each user to its home channel and runs the per-channel
   // closed loops on --jobs workers (a different, pinned workload — but
